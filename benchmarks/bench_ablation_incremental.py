@@ -1,0 +1,58 @@
+"""Ablation: reference vs delta-driven inflationary evaluation.
+
+DESIGN.md calls out the bottom-up iteration as the cost centre of the
+paper's proposed semantics; this bench quantifies what differential
+evaluation buys on recursive workloads (and verifies both engines agree).
+"""
+
+import pytest
+
+from repro.core.fixpoint import idb_equal
+from repro.core.semantics import (
+    incremental_inflationary_semantics,
+    inflationary_semantics,
+)
+from repro.graphs import generators as gg, graph_to_database
+from repro.queries import distance_program, transitive_closure_program
+
+TC = transitive_closure_program()
+
+
+@pytest.mark.parametrize("n", [8, 16])
+def test_tc_reference(benchmark, n):
+    db = graph_to_database(gg.path(n))
+    result = benchmark(inflationary_semantics, TC, db)
+    assert len(result.idb["S"]) == n * (n - 1) // 2
+
+
+@pytest.mark.parametrize("n", [8, 16])
+def test_tc_incremental(benchmark, n):
+    db = graph_to_database(gg.path(n))
+    result = benchmark(incremental_inflationary_semantics, TC, db)
+    assert len(result.idb["S"]) == n * (n - 1) // 2
+
+
+@pytest.mark.parametrize("n", [8])
+def test_distance_reference(benchmark, n):
+    db = graph_to_database(gg.path(n))
+    result = benchmark(inflationary_semantics, distance_program(), db)
+    assert result.carrier_value
+
+
+@pytest.mark.parametrize("n", [8])
+def test_distance_incremental(benchmark, n):
+    db = graph_to_database(gg.path(n))
+    result = benchmark(incremental_inflationary_semantics, distance_program(), db)
+    assert result.carrier_value
+
+
+def test_engines_agree_on_bench_workload(benchmark):
+    db = graph_to_database(gg.random_digraph(8, 0.25, seed=13))
+    a = inflationary_semantics(distance_program(), db)
+    b = benchmark.pedantic(
+        incremental_inflationary_semantics,
+        args=(distance_program(), db),
+        rounds=1,
+        iterations=1,
+    )
+    assert idb_equal(a.idb, b.idb)

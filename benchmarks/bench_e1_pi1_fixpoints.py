@@ -1,0 +1,13 @@
+"""E1: Section 2's worked example — pi_1 on L_n, C_n, G_n.
+
+Regenerates: unique fixpoint on paths, 0/2 on odd/even cycles, 2^n
+pairwise-incomparable fixpoints (and no least fixpoint) on G_n.
+"""
+
+from repro.bench import experiment
+
+from conftest import run_once
+
+
+def test_e1_pi1_fixpoint_structure(benchmark):
+    run_once(benchmark, experiment("e1").run)

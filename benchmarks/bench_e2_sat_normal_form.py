@@ -1,0 +1,9 @@
+"""E2: Theorem 1 / Example 1 — pi_SAT fixpoints = satisfying assignments."""
+
+from repro.bench import experiment
+
+from conftest import run_once
+
+
+def test_e2_sat_normal_form(benchmark):
+    run_once(benchmark, experiment("e2").run)

@@ -1,0 +1,9 @@
+"""E3: Theorem 2 — unique fixpoints track unique satisfying assignments."""
+
+from repro.bench import experiment
+
+from conftest import run_once
+
+
+def test_e3_unique_fixpoint(benchmark):
+    run_once(benchmark, experiment("e3").run)

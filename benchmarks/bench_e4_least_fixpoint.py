@@ -1,0 +1,9 @@
+"""E4: Theorem 3 — least-fixpoint decision via intersection of fixpoints."""
+
+from repro.bench import experiment
+
+from conftest import run_once
+
+
+def test_e4_least_fixpoint(benchmark):
+    run_once(benchmark, experiment("e4").run)

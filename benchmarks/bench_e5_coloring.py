@@ -1,0 +1,9 @@
+"""E5: Lemma 1 — pi_COL fixpoints = proper 3-colorings."""
+
+from repro.bench import experiment
+
+from conftest import run_once
+
+
+def test_e5_coloring(benchmark):
+    run_once(benchmark, experiment("e5").run)

@@ -1,0 +1,9 @@
+"""E6: Theorem 4 — succinct 3-coloring via pi_SC + grounding blow-up."""
+
+from repro.bench import experiment
+
+from conftest import run_once
+
+
+def test_e6_succinct_coloring(benchmark):
+    run_once(benchmark, experiment("e6").run)

@@ -1,0 +1,9 @@
+"""E7: Section 4 — inflationary semantics: conservativity, totality, bounds."""
+
+from repro.bench import experiment
+
+from conftest import run_once
+
+
+def test_e7_inflationary(benchmark):
+    run_once(benchmark, experiment("e7").run)

@@ -1,0 +1,9 @@
+"""E8: Proposition 2 — distance query: inflationary vs stratified, EF games."""
+
+from repro.bench import experiment
+
+from conftest import run_once
+
+
+def test_e8_distance_query(benchmark):
+    run_once(benchmark, experiment("e8").run)

@@ -1,0 +1,9 @@
+"""E9: Section 5 — the expressiveness hierarchy, executable witnesses."""
+
+from repro.bench import experiment
+
+from conftest import run_once
+
+
+def test_e9_hierarchy(benchmark):
+    run_once(benchmark, experiment("e9").run)

@@ -1,0 +1,62 @@
+"""Engineering benchmark: evaluation engines on growing inputs.
+
+Supports the paper's polynomial-data-complexity argument for inflationary
+semantics: time grows polynomially with the database for a fixed program,
+and semi-naive evaluation beats naive re-derivation on recursive queries.
+"""
+
+import pytest
+
+from repro.core.semantics import (
+    inflationary_semantics,
+    naive_least_fixpoint,
+    seminaive_least_fixpoint,
+    stratified_semantics,
+    well_founded_semantics,
+)
+from repro.graphs import generators as gg, graph_to_database
+from repro.queries import distance_program, pi1, transitive_closure_program
+
+TC = transitive_closure_program()
+
+
+@pytest.mark.parametrize("n", [8, 16, 24])
+def test_tc_naive(benchmark, n):
+    db = graph_to_database(gg.path(n))
+    result = benchmark(naive_least_fixpoint, TC, db)
+    assert len(result.idb["S"]) == n * (n - 1) // 2
+
+
+@pytest.mark.parametrize("n", [8, 16, 24])
+def test_tc_seminaive(benchmark, n):
+    db = graph_to_database(gg.path(n))
+    result = benchmark(seminaive_least_fixpoint, TC, db)
+    assert len(result.idb["S"]) == n * (n - 1) // 2
+
+
+@pytest.mark.parametrize("n", [8, 16, 24])
+def test_tc_inflationary(benchmark, n):
+    db = graph_to_database(gg.path(n))
+    result = benchmark(inflationary_semantics, TC, db)
+    assert len(result.idb["S"]) == n * (n - 1) // 2
+
+
+@pytest.mark.parametrize("n", [6, 10])
+def test_distance_program_inflationary(benchmark, n):
+    db = graph_to_database(gg.path(n))
+    result = benchmark(inflationary_semantics, distance_program(), db)
+    assert result.carrier_value
+
+
+@pytest.mark.parametrize("n", [6, 10])
+def test_distance_program_stratified(benchmark, n):
+    db = graph_to_database(gg.path(n))
+    result = benchmark(stratified_semantics, distance_program(), db)
+    assert result.relation("S3")
+
+
+@pytest.mark.parametrize("n", [8, 16])
+def test_well_founded_pi1_on_cycles(benchmark, n):
+    db = graph_to_database(gg.cycle(n))
+    result = benchmark(well_founded_semantics, pi1(), db)
+    assert not result.is_total  # cycles stay undefined

@@ -1,0 +1,19 @@
+"""Helpers shared by the benchmark suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark an experiment with a single measured round.
+
+    Experiment runners are deterministic and some are seconds-long, so one
+    round gives a faithful timing without minutes of repetition; the
+    returned tables are also asserted, making every benchmark double as an
+    integration check.
+    """
+    tables = benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    for table in tables:
+        assert table.all_ok(), "failing rows in %r\n%s" % (table.title, table.render())
+    return tables

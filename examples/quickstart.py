@@ -1,0 +1,63 @@
+"""Quickstart: parse a DATALOG¬ program, run every semantics, analyse fixpoints.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Database, Relation, parse_program
+from repro.core.satreduction import analyze_fixpoints
+from repro.core.semantics import (
+    inflationary_semantics,
+    naive_least_fixpoint,
+    well_founded_semantics,
+)
+
+# ----------------------------------------------------------------------
+# 1. Pure DATALOG: transitive closure under the standard least fixpoint.
+# ----------------------------------------------------------------------
+tc = parse_program(
+    """
+    S(X, Y) :- E(X, Y).
+    S(X, Y) :- E(X, Z), S(Z, Y).
+    """
+)
+db = Database({1, 2, 3, 4}, [Relation("E", 2, [(1, 2), (2, 3), (3, 4)])])
+
+result = naive_least_fixpoint(tc, db)
+print("transitive closure:", sorted(result.idb["S"].tuples))
+print("rounds to converge:", result.rounds)
+
+# ----------------------------------------------------------------------
+# 2. Negation: the paper's pi_1 = T(x) :- E(y, x), !T(y).
+#    Ordinary fixpoints may not exist, may be unique, or may be many —
+#    the SAT-backed analyser reports the whole picture.
+# ----------------------------------------------------------------------
+pi1 = parse_program("T(X) :- E(Y, X), !T(Y).")
+
+analysis = analyze_fixpoints(pi1, db)
+print("\npi_1 on the path 1->2->3->4:")
+print("  fixpoint exists:", analysis.exists)
+print("  unique:", analysis.unique)
+print("  least fixpoint:", sorted(analysis.least["T"].tuples))
+
+odd_cycle = Database({1, 2, 3}, [Relation("E", 2, [(1, 2), (2, 3), (3, 1)])])
+print("pi_1 on the odd cycle C_3:")
+print("  fixpoint exists:", analyze_fixpoints(pi1, odd_cycle).exists)
+
+# ----------------------------------------------------------------------
+# 3. The paper's remedy: inflationary semantics — total and polynomial.
+# ----------------------------------------------------------------------
+for name, database in (("path L_4", db), ("odd cycle C_3", odd_cycle)):
+    inf = inflationary_semantics(pi1, database)
+    print(
+        "inflationary pi_1 on %s: %s (rounds=%d)"
+        % (name, sorted(inf.carrier_value.tuples), inf.rounds)
+    )
+
+# ----------------------------------------------------------------------
+# 4. Bonus: the three-valued well-founded view of the same program.
+# ----------------------------------------------------------------------
+wf = well_founded_semantics(pi1, odd_cycle)
+print(
+    "\nwell-founded pi_1 on C_3: total=%s, undefined atoms=%d"
+    % (wf.is_total, len(wf.undefined))
+)

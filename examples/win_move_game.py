@@ -1,0 +1,60 @@
+"""The win-move game: fixpoints, inflationary, and well-founded views.
+
+WIN(x) :- E(x, y), !WIN(y) — a position wins if some move reaches a losing
+position.  This is the paper's pi_1 over reversed edges, and the classic
+showcase for how the semantics differ:
+
+* ordinary fixpoints mirror the paper's path/cycle phenomenology
+  (none on odd cycles, several on even ones);
+* the well-founded model plays the game correctly, leaving drawn
+  positions (cycles) undefined;
+* inflationary semantics gives a total but *game-theoretically wrong*
+  answer — it overapproximates WIN, which is exactly why the paper
+  presents it as a semantics choice, not a free lunch.
+
+Run with:  python examples/win_move_game.py
+"""
+
+from repro import Database, Relation
+from repro.core.satreduction import analyze_fixpoints
+from repro.core.semantics import inflationary_semantics, well_founded_semantics
+from repro.queries import win_move_program
+
+program = win_move_program()
+print("program:", program, "\n")
+
+
+def show(name, edges, universe):
+    db = Database(universe, [Relation("E", 2, edges)])
+    analysis = analyze_fixpoints(program, db)
+    wf = well_founded_semantics(program, db)
+    inf = inflationary_semantics(program, db)
+    print(name)
+    print("  ordinary fixpoints:", analysis.count)
+    print("  well-founded: win=%s lose=%s drawn=%s" % (
+        sorted(t[0] for t in wf.true_idb()["WIN"]),
+        sorted(
+            u for u in universe
+            if ("WIN", (u,)) not in wf.true and ("WIN", (u,)) not in wf.undefined
+        ),
+        sorted(t[0] for t in wf.undefined_idb()["WIN"]),
+    ))
+    print("  inflationary WIN:", sorted(t[0] for t in inf.carrier_value))
+    print()
+
+
+# A chain: 1 -> 2 -> 3 -> 4 (4 is stuck, hence lost).
+show("chain 1->2->3->4", [(1, 2), (2, 3), (3, 4)], {1, 2, 3, 4})
+
+# An odd cycle: every position is drawn; no ordinary fixpoint at all.
+show("odd cycle C_3", [(1, 2), (2, 3), (3, 1)], {1, 2, 3})
+
+# A cycle with an escape: 1 <-> 2, and 2 can also move to stuck node 3.
+show("cycle with escape", [(1, 2), (2, 1), (2, 3)], {1, 2, 3})
+
+# A composite board: chain feeding an even cycle.
+show(
+    "chain into even cycle",
+    [(1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 3)],
+    {1, 2, 3, 4, 5, 6},
+)

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The build environment has no ``wheel`` package and no network access, so
+PEP 517 editable installs (which require building a wheel) are unavailable.
+This shim lets ``pip install -e .`` fall back to ``setup.py develop``.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""repro — a reproduction of Kolaitis & Papadimitriou,
+"Why Not Negation by Fixpoint?" (PODS 1988 / JCSS 1991).
+
+The package implements DATALOG¬ (Datalog with negation) under the paper's
+active-domain semantics, the immediate consequence operator Theta, fixpoint
+analysis backed by a built-in SAT solver (existence, uniqueness, counting,
+least-fixpoint decision), the paper's reductions (pi_SAT, pi_COL, succinct
+3-coloring, the Fagin/Skolem compiler of Theorem 1), and the proposed
+remedy: Inflationary DATALOG, together with stratified and well-founded
+semantics for comparison.
+
+Quickstart::
+
+    from repro import parse_program, Database, Relation
+    from repro.core.semantics import inflationary_semantics
+
+    program = parse_program("T(X) :- E(X, Y).  T(X) :- E(X, Z), T(Z).")
+    db = Database({1, 2, 3}, [Relation("E", 2, [(1, 2), (2, 3)])])
+    print(inflationary_semantics(program, db).carrier_value)
+"""
+
+from .core import (
+    Atom,
+    Constant,
+    Eq,
+    Negation,
+    Neq,
+    Program,
+    ProgramError,
+    Rule,
+    Variable,
+    parse_atom,
+    parse_program,
+    parse_rule,
+    rule,
+    term,
+    theta,
+)
+from .db import Database, Relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "Database",
+    "Eq",
+    "Negation",
+    "Neq",
+    "Program",
+    "ProgramError",
+    "Relation",
+    "Rule",
+    "Variable",
+    "parse_atom",
+    "parse_program",
+    "parse_rule",
+    "rule",
+    "term",
+    "theta",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Static analysis of DATALOG¬ programs: dependencies, strata, classes."""
+
+from .classify import EngineSupport, ProgramClass, classify
+from .dependency import DependencyEdge, DependencyGraph
+from .stats import GroundingStats, ProgramStats
+
+__all__ = [
+    "DependencyEdge",
+    "DependencyGraph",
+    "EngineSupport",
+    "GroundingStats",
+    "ProgramClass",
+    "ProgramStats",
+    "classify",
+]

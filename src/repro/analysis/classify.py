@@ -1,0 +1,61 @@
+"""Program classification: positive / semipositive / stratified / general.
+
+The paper's landscape orders these classes by expressive power
+(``DATALOG subsetneq Stratified subsetneq Inflationary DATALOG``); the
+classifier tells which engines are applicable to a given program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..core.program import Program
+from ..core.semantics.base import is_semipositive
+from .dependency import DependencyGraph
+
+
+class ProgramClass(Enum):
+    """The most restrictive class a program falls into."""
+
+    POSITIVE = "positive"          # DATALOG: no negation, no inequality
+    SEMIPOSITIVE = "semipositive"  # negation/inequality over EDB only
+    STRATIFIED = "stratified"      # layered negation
+    GENERAL = "general"            # needs inflationary / fixpoint analysis
+
+
+def classify(program: Program) -> ProgramClass:
+    """The tightest class containing ``program``.
+
+    ``POSITIVE < SEMIPOSITIVE < STRATIFIED < GENERAL``: e.g. a positive
+    program is also stratified, but is reported as POSITIVE.
+    """
+    if program.is_positive():
+        return ProgramClass.POSITIVE
+    if is_semipositive(program):
+        return ProgramClass.SEMIPOSITIVE
+    if DependencyGraph(program).is_stratifiable():
+        return ProgramClass.STRATIFIED
+    return ProgramClass.GENERAL
+
+
+@dataclass(frozen=True)
+class EngineSupport:
+    """Which semantics are defined for a program."""
+
+    least_fixpoint: bool
+    stratified: bool
+    inflationary: bool  # always True: the paper's selling point
+    well_founded: bool  # always True
+
+    @classmethod
+    def for_program(cls, program: Program) -> "EngineSupport":
+        """Compute applicability from the classification."""
+        kind = classify(program)
+        return cls(
+            least_fixpoint=kind
+            in (ProgramClass.POSITIVE, ProgramClass.SEMIPOSITIVE),
+            stratified=kind != ProgramClass.GENERAL,
+            inflationary=True,
+            well_founded=True,
+        )

@@ -1,0 +1,172 @@
+"""Predicate dependency graphs and stratification.
+
+A program's *dependency graph* has the IDB predicates as nodes and an edge
+``q -> p`` whenever ``q`` occurs in the body of a rule with head ``p``; the
+edge is *negative* when some such occurrence is negated (an inequality-free
+notion — comparisons do not create edges).  A program is *stratifiable*
+(Chandra–Harel / Apt–Blair–Walker) when no cycle of the graph contains a
+negative edge; equivalently, no strongly connected component has an internal
+negative edge ("no recursion through negation").
+
+Strata are computed as the least assignment ``sigma`` with
+
+    sigma(p) >= sigma(q)      for positive edges q -> p
+    sigma(p) >= sigma(q) + 1  for negative edges q -> p
+
+EDB predicates implicitly occupy stratum 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..core.literals import Atom, Negation
+from ..core.program import Program
+
+
+@dataclass(frozen=True)
+class DependencyEdge:
+    """An edge ``source -> target`` (target's rule body uses source)."""
+
+    source: str
+    target: str
+    negative: bool
+
+
+class DependencyGraph:
+    """The predicate dependency graph of a program (IDB nodes only)."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.nodes: FrozenSet[str] = program.idb_predicates
+        edges: Set[DependencyEdge] = set()
+        for rule in program.rules:
+            head = rule.head.pred
+            for lit in rule.body:
+                if isinstance(lit, Atom) and lit.pred in self.nodes:
+                    edges.add(DependencyEdge(lit.pred, head, negative=False))
+                elif isinstance(lit, Negation) and lit.atom.pred in self.nodes:
+                    edges.add(DependencyEdge(lit.atom.pred, head, negative=True))
+        self.edges: FrozenSet[DependencyEdge] = frozenset(edges)
+        self._succ: Dict[str, List[DependencyEdge]] = {n: [] for n in self.nodes}
+        for e in self.edges:
+            self._succ[e.source].append(e)
+
+    def successors(self, node: str) -> List[DependencyEdge]:
+        """Outgoing edges of ``node``."""
+        return list(self._succ[node])
+
+    # ------------------------------------------------------------------
+    # Strongly connected components (iterative Tarjan)
+    # ------------------------------------------------------------------
+
+    def sccs(self) -> List[FrozenSet[str]]:
+        """Strongly connected components in reverse topological order."""
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        out: List[FrozenSet[str]] = []
+        counter = [0]
+
+        for root in sorted(self.nodes):
+            if root in index:
+                continue
+            work: List[Tuple[str, int]] = [(root, 0)]
+            while work:
+                node, ei = work.pop()
+                if ei == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                edges = sorted(self._succ[node], key=lambda e: e.target)
+                advanced = False
+                for i in range(ei, len(edges)):
+                    succ = edges[i].target
+                    if succ not in index:
+                        work.append((node, i + 1))
+                        work.append((succ, 0))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                if low[node] == index[node]:
+                    component = set()
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        component.add(w)
+                        if w == node:
+                            break
+                    out.append(frozenset(component))
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return out
+
+    # ------------------------------------------------------------------
+    # Stratification
+    # ------------------------------------------------------------------
+
+    def negative_cycle_witness(self) -> Optional[DependencyEdge]:
+        """A negative edge inside some SCC, or ``None`` if stratifiable."""
+        component_of: Dict[str, int] = {}
+        for i, comp in enumerate(self.sccs()):
+            for node in comp:
+                component_of[node] = i
+        for e in self.edges:
+            if e.negative and component_of[e.source] == component_of[e.target]:
+                return e
+        return None
+
+    def is_stratifiable(self) -> bool:
+        """True when no cycle goes through a negative edge."""
+        return self.negative_cycle_witness() is None
+
+    def strata(self) -> Dict[str, int]:
+        """Least stratum assignment (0-based).
+
+        Raises
+        ------
+        ValueError
+            If the program is not stratifiable.
+        """
+        witness = self.negative_cycle_witness()
+        if witness is not None:
+            raise ValueError(
+                "program is not stratifiable: recursion through negation on "
+                "edge %s -> %s" % (witness.source, witness.target)
+            )
+        components = self.sccs()  # reverse topological order
+        component_of: Dict[str, int] = {}
+        for i, comp in enumerate(components):
+            for node in comp:
+                component_of[node] = i
+        sigma: Dict[str, int] = {n: 0 for n in self.nodes}
+        # Process components in topological order (reverse of Tarjan output);
+        # within an SCC all members share a stratum.
+        for comp in reversed(components):
+            level = 0
+            for node in comp:
+                for e in self.edges:
+                    if e.target != node or e.source in comp:
+                        continue
+                    need = sigma[e.source] + (1 if e.negative else 0)
+                    level = max(level, need)
+            for node in comp:
+                sigma[node] = level
+        return sigma
+
+    def stratum_partition(self) -> List[FrozenSet[str]]:
+        """Predicates grouped by stratum, lowest first."""
+        sigma = self.strata()
+        if not sigma:
+            return []
+        top = max(sigma.values())
+        return [
+            frozenset(p for p, s in sigma.items() if s == i) for i in range(top + 1)
+        ]

@@ -1,0 +1,70 @@
+"""Size and shape metrics for programs and ground instantiations.
+
+Used by experiment E6 to demonstrate the data-vs-expression complexity gap
+(Vardi [Va82], cited in the Introduction): for a fixed program the ground
+system grows polynomially in the database, but when the program is part of
+the input the exponent tracks the program's arities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.grounding import GroundProgram
+from ..core.literals import Negation, Neq
+from ..core.program import Program
+from ..db.database import Database
+
+
+@dataclass(frozen=True)
+class ProgramStats:
+    """Static program metrics."""
+
+    rules: int
+    idb_predicates: int
+    edb_predicates: int
+    max_arity: int
+    max_body_length: int
+    negated_literals: int
+    inequality_literals: int
+    total_variables: int
+
+    @classmethod
+    def of(cls, program: Program) -> "ProgramStats":
+        """Collect metrics from a program."""
+        negs = sum(
+            1 for r in program.rules for t in r.body if isinstance(t, Negation)
+        )
+        neqs = sum(
+            1 for r in program.rules for t in r.body if isinstance(t, Neq)
+        )
+        return cls(
+            rules=len(program.rules),
+            idb_predicates=len(program.idb_predicates),
+            edb_predicates=len(program.edb_predicates),
+            max_arity=max(program.arities.values()),
+            max_body_length=max(len(r.body) for r in program.rules),
+            negated_literals=negs,
+            inequality_literals=neqs,
+            total_variables=sum(len(r.variables()) for r in program.rules),
+        )
+
+
+@dataclass(frozen=True)
+class GroundingStats:
+    """Size of the ground system for one ``(program, db)`` pair."""
+
+    universe_size: int
+    atom_space: int
+    derivable_atoms: int
+    ground_rules: int
+
+    @classmethod
+    def of(cls, ground: GroundProgram) -> "GroundingStats":
+        """Collect metrics from a ground program."""
+        return cls(
+            universe_size=len(ground.db.universe),
+            atom_space=ground.atom_space_size(),
+            derivable_atoms=len(ground.derivable),
+            ground_rules=len(ground.rules),
+        )

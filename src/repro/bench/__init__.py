@@ -1,0 +1,6 @@
+"""Experiment harness and the E1–E9 registry."""
+
+from . import experiments  # noqa: F401  (registers the experiments)
+from .harness import Experiment, Table, all_experiments, experiment
+
+__all__ = ["Experiment", "Table", "all_experiments", "experiment"]

@@ -1,0 +1,51 @@
+"""CLI: ``python -m repro.bench [e1 e2 ...|all] [--markdown]``.
+
+Runs the requested experiments and prints their tables; used to generate
+EXPERIMENTS.md and for quick eyeballing.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .harness import all_experiments, experiment
+
+
+def main(argv) -> int:
+    args = [a for a in argv if not a.startswith("--")]
+    markdown = "--markdown" in argv
+    chosen = (
+        all_experiments()
+        if not args or args == ["all"]
+        else [experiment(a) for a in args]
+    )
+    failures = 0
+    for exp in chosen:
+        start = time.perf_counter()
+        tables = exp.run()
+        elapsed = time.perf_counter() - start
+        if markdown:
+            print("## %s\n" % exp.title)
+            print("Claim: %s\n" % exp.claim)
+            for table in tables:
+                print(table.render_markdown())
+                print()
+            print("_Runtime: %.2fs_\n" % elapsed)
+        else:
+            print("=" * 72)
+            print("%s  (%.2fs)" % (exp.title, elapsed))
+            print("claim: %s" % exp.claim)
+            print()
+            for table in tables:
+                print(table.render())
+                print()
+        for table in tables:
+            if not table.all_ok():
+                failures += 1
+                print("!! table %r has failing rows" % table.title)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

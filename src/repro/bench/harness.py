@@ -1,0 +1,123 @@
+"""Experiment harness: declarative tables with expected-vs-measured rows.
+
+The paper is a theory paper — its "tables" are worked examples and theorem
+statements.  Each experiment here regenerates one of those claims as an
+executable table: columns of measured values next to the value the paper
+predicts, plus an ``ok`` column.  EXPERIMENTS.md is generated from these
+tables, and the pytest benchmarks call the same runners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A titled table of rows; all cells are stringified on render."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *cells: Any) -> None:
+        """Append a row (must match the column count)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                "row has %d cells, table %r has %d columns"
+                % (len(cells), self.title, len(self.columns))
+            )
+        self.rows.append(cells)
+
+    def note(self, text: str) -> None:
+        """Attach a free-text note rendered under the table."""
+        self.notes.append(text)
+
+    def all_ok(self) -> bool:
+        """True when every cell of every ``ok``-ish column is truthy.
+
+        Columns named ``ok`` (case-insensitive) are treated as checks.
+        """
+        check_idx = [
+            i for i, c in enumerate(self.columns) if c.strip().lower() == "ok"
+        ]
+        return all(bool(row[i]) for row in self.rows for i in check_idx)
+
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        header = [str(c) for c in self.columns]
+        body = [[_cell(v) for v in row] for row in self.rows]
+        widths = [len(h) for h in header]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+        for note in self.notes:
+            lines.append("note: %s" % note)
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering (for EXPERIMENTS.md)."""
+        lines = ["### %s" % self.title, ""]
+        lines.append("| " + " | ".join(str(c) for c in self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_cell(v) for v in row) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append("*%s*" % note)
+        return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return "%.3g" % value
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment: id, paper claim, and a runner."""
+
+    ident: str
+    title: str
+    claim: str
+    run: Callable[[], List[Table]]
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(ident: str, title: str, claim: str):
+    """Decorator registering an experiment runner under an id (e.g. e1)."""
+
+    def wrap(fn: Callable[[], List[Table]]) -> Callable[[], List[Table]]:
+        if ident in _REGISTRY:
+            raise ValueError("experiment %r already registered" % ident)
+        _REGISTRY[ident] = Experiment(ident=ident, title=title, claim=claim, run=fn)
+        return fn
+
+    return wrap
+
+
+def experiment(ident: str) -> Experiment:
+    """Look up a registered experiment."""
+    try:
+        return _REGISTRY[ident]
+    except KeyError:
+        raise KeyError(
+            "unknown experiment %r; known: %s" % (ident, sorted(_REGISTRY))
+        ) from None
+
+
+def all_experiments() -> List[Experiment]:
+    """All experiments in id order."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]

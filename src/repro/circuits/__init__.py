@@ -1,0 +1,15 @@
+"""Boolean circuits and succinct graph representations (Theorem 4)."""
+
+from .circuit import AND, IN, NOT, OR, Circuit, CircuitBuilder, Gate
+from .succinct import SuccinctGraph
+
+__all__ = [
+    "AND",
+    "Circuit",
+    "CircuitBuilder",
+    "Gate",
+    "IN",
+    "NOT",
+    "OR",
+    "SuccinctGraph",
+]

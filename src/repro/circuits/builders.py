@@ -1,0 +1,110 @@
+"""Builders for edge circuits of standard graph families.
+
+These supply the SUCCINCT 3-COLORING workloads of experiment E6: circuits
+presenting graphs whose explicit expansions we can still afford to check.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, List, Sequence, Tuple
+
+from ..graphs.digraph import Digraph
+from .circuit import Circuit, CircuitBuilder
+from .succinct import BitNode, SuccinctGraph
+
+
+def _address_inputs(builder: CircuitBuilder, n: int) -> Tuple[List[int], List[int]]:
+    """Allocate the 2n input gates: first n for u, last n for v."""
+    u = [builder.input() for _ in range(n)]
+    v = [builder.input() for _ in range(n)]
+    return u, v
+
+
+def _equals_constant(builder: CircuitBuilder, wires: Sequence[int], bits: BitNode) -> int:
+    """A gate that is 1 iff the wires spell the given bit pattern."""
+    parts = []
+    for wire, bit in zip(wires, bits):
+        parts.append(wire if bit else builder.not_(wire))
+    return builder.and_all(parts)
+
+
+def explicit_graph_circuit(graph: Digraph, address_bits: int) -> SuccinctGraph:
+    """A DNF edge circuit presenting an explicitly given graph.
+
+    Nodes of ``graph`` must be ``address_bits``-bit tuples.  The circuit is
+    the OR over edges of "u spells this source and v spells this target" —
+    the generic (if inefficient) way to make any small graph succinct, used
+    to cross-check the Theorem 4 reduction against explicit 3-coloring.
+    """
+    for node in graph.nodes:
+        try:
+            bits = tuple(node)
+        except TypeError:
+            raise ValueError(
+                "node %r is not an %d-bit tuple" % (node, address_bits)
+            ) from None
+        if len(bits) != address_bits or not set(bits) <= {0, 1}:
+            raise ValueError(
+                "node %r is not an %d-bit tuple" % (node, address_bits)
+            )
+    builder = CircuitBuilder()
+    u, v = _address_inputs(builder, address_bits)
+    edge_gates = []
+    for src, dst in sorted(graph.edges):
+        src_gate = _equals_constant(builder, u, tuple(src))
+        dst_gate = _equals_constant(builder, v, tuple(dst))
+        edge_gates.append(builder.and_(src_gate, dst_gate))
+    if edge_gates:
+        builder.or_all(edge_gates)
+    else:
+        builder.constant_false()
+    return SuccinctGraph(builder.build(), address_bits)
+
+
+def complete_graph_circuit(address_bits: int) -> SuccinctGraph:
+    """Edge circuit of the complete graph on ``{0,1}^n`` (no self-loops):
+    an edge iff u != v."""
+    builder = CircuitBuilder()
+    u, v = _address_inputs(builder, address_bits)
+    differs = []
+    for a, b in zip(u, v):
+        both = builder.and_(a, b)
+        neither = builder.and_(builder.not_(a), builder.not_(b))
+        same = builder.or_(both, neither)
+        differs.append(builder.not_(same))
+    builder.or_all(differs)
+    return SuccinctGraph(builder.build(), address_bits)
+
+
+def hypercube_circuit(address_bits: int) -> SuccinctGraph:
+    """Edge circuit of the ``n``-cube: edge iff Hamming distance is 1.
+
+    Hypercubes are bipartite, hence 2- (and 3-) colorable — a positive
+    instance family for SUCCINCT 3-COLORING.
+    """
+    builder = CircuitBuilder()
+    u, v = _address_inputs(builder, address_bits)
+    diff_bits = []
+    for a, b in zip(u, v):
+        axb = builder.and_(a, builder.not_(b))
+        bxa = builder.and_(b, builder.not_(a))
+        diff_bits.append(builder.or_(axb, bxa))
+    # Exactly one differing bit: OR over i of (diff_i and none other).
+    exactly_one = []
+    for i in range(address_bits):
+        parts = [diff_bits[i]]
+        for j in range(address_bits):
+            if j != i:
+                parts.append(builder.not_(diff_bits[j]))
+        exactly_one.append(builder.and_all(parts))
+    builder.or_all(exactly_one)
+    return SuccinctGraph(builder.build(), address_bits)
+
+
+def empty_graph_circuit(address_bits: int) -> SuccinctGraph:
+    """Edge circuit of the graph with no edges (trivially 3-colorable)."""
+    builder = CircuitBuilder()
+    _address_inputs(builder, address_bits)
+    builder.constant_false()
+    return SuccinctGraph(builder.build(), address_bits)

@@ -1,0 +1,165 @@
+"""Boolean circuits exactly as defined in the paper (Theorem 4).
+
+*"A Boolean circuit is a finite set of triples ((a_i, b_i, c_i): i = 1..k),
+where a_i in {OR, AND, NOT, IN} is the kind of the gate, and b_i, c_i < i
+are the inputs of the gate, unless the gate is an input gate (a_i = IN), in
+which case b_i = c_i = 0.  For NOT gates, b_i = c_i.  ...  The value of the
+circuit is the value of the last gate."*
+
+Gates are numbered from 1; input gates feed from the circuit's input bits
+in the order the IN gates appear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+IN = "IN"
+AND = "AND"
+OR = "OR"
+NOT = "NOT"
+
+_KINDS = (IN, AND, OR, NOT)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate triple ``(kind, b, c)``; ``b = c = 0`` for inputs."""
+
+    kind: str
+    b: int
+    c: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError("unknown gate kind %r" % self.kind)
+        if self.kind == IN and (self.b != 0 or self.c != 0):
+            raise ValueError("input gates must have b = c = 0")
+        if self.kind == NOT and self.b != self.c:
+            raise ValueError("NOT gates must have b = c")
+
+
+class Circuit:
+    """An immutable gate list with the paper's well-formedness conditions."""
+
+    def __init__(self, gates: Iterable[Gate]) -> None:
+        self.gates: Tuple[Gate, ...] = tuple(gates)
+        if not self.gates:
+            raise ValueError("a circuit needs at least one gate")
+        for i, gate in enumerate(self.gates, start=1):
+            if gate.kind != IN and not (1 <= gate.b < i and 1 <= gate.c < i):
+                raise ValueError(
+                    "gate %d (%s) feeds from %d, %d; inputs must be earlier gates"
+                    % (i, gate.kind, gate.b, gate.c)
+                )
+        self.input_positions: Tuple[int, ...] = tuple(
+            i for i, g in enumerate(self.gates, start=1) if g.kind == IN
+        )
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of IN gates (the circuit reads this many bits)."""
+        return len(self.input_positions)
+
+    @property
+    def num_gates(self) -> int:
+        """Total gate count ``k``."""
+        return len(self.gates)
+
+    @property
+    def output_gate(self) -> int:
+        """The last gate's 1-based index — the circuit's value."""
+        return len(self.gates)
+
+    def evaluate(self, bits: Sequence[int]) -> bool:
+        """The circuit's value on an input bit vector.
+
+        ``bits`` supplies one value (0/1 or bool) per IN gate, in IN-gate
+        order.
+        """
+        if len(bits) != self.num_inputs:
+            raise ValueError(
+                "expected %d input bits, got %d" % (self.num_inputs, len(bits))
+            )
+        values: List[bool] = []
+        next_input = 0
+        for gate in self.gates:
+            if gate.kind == IN:
+                values.append(bool(bits[next_input]))
+                next_input += 1
+            elif gate.kind == AND:
+                values.append(values[gate.b - 1] and values[gate.c - 1])
+            elif gate.kind == OR:
+                values.append(values[gate.b - 1] or values[gate.c - 1])
+            else:  # NOT
+                values.append(not values[gate.b - 1])
+        return values[-1]
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __repr__(self) -> str:
+        return "Circuit(%d gates, %d inputs)" % (self.num_gates, self.num_inputs)
+
+
+class CircuitBuilder:
+    """Convenience builder maintaining the gate numbering invariants.
+
+    Methods return 1-based gate indexes usable as later gate inputs.
+    """
+
+    def __init__(self) -> None:
+        self._gates: List[Gate] = []
+
+    def _add(self, gate: Gate) -> int:
+        self._gates.append(gate)
+        return len(self._gates)
+
+    def input(self) -> int:
+        """Add an IN gate."""
+        return self._add(Gate(IN, 0, 0))
+
+    def and_(self, b: int, c: int) -> int:
+        """Add an AND gate over two earlier gates."""
+        return self._add(Gate(AND, b, c))
+
+    def or_(self, b: int, c: int) -> int:
+        """Add an OR gate over two earlier gates."""
+        return self._add(Gate(OR, b, c))
+
+    def not_(self, b: int) -> int:
+        """Add a NOT gate over an earlier gate."""
+        return self._add(Gate(NOT, b, b))
+
+    def and_all(self, gates: Sequence[int]) -> int:
+        """Balanced AND of one or more gates."""
+        if not gates:
+            raise ValueError("and_all needs at least one gate")
+        result = gates[0]
+        for g in gates[1:]:
+            result = self.and_(result, g)
+        return result
+
+    def or_all(self, gates: Sequence[int]) -> int:
+        """Balanced OR of one or more gates."""
+        if not gates:
+            raise ValueError("or_all needs at least one gate")
+        result = gates[0]
+        for g in gates[1:]:
+            result = self.or_(result, g)
+        return result
+
+    def constant_false(self) -> int:
+        """A gate that always outputs 0 (x and not x over input 1)."""
+        if not self._gates:
+            raise ValueError("add at least one input before constants")
+        first_in = next(
+            i for i, g in enumerate(self._gates, start=1) if g.kind == IN
+        )
+        neg = self.not_(first_in)
+        return self.and_(first_in, neg)
+
+    def build(self) -> Circuit:
+        """Finalise; the most recently added gate is the output."""
+        return Circuit(self._gates)

@@ -1,0 +1,59 @@
+"""Succinct graph representations (Theorem 4's input format).
+
+*"Imagine that the nodes of the graph are the elements of {0,1}^n, and,
+instead of an explicitly given edge relation, there is a Boolean circuit
+with 2n inputs and one output such that the value output by the circuit is
+1 if and only if the inputs form two n-tuples that are connected by an
+edge."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Tuple
+
+from ..graphs.digraph import Digraph
+from .circuit import Circuit
+
+BitNode = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SuccinctGraph:
+    """A graph on ``{0,1}**address_bits`` presented by an edge circuit."""
+
+    circuit: Circuit
+    address_bits: int
+
+    def __post_init__(self) -> None:
+        if self.circuit.num_inputs != 2 * self.address_bits:
+            raise ValueError(
+                "circuit reads %d bits; a graph on {0,1}^%d needs %d"
+                % (self.circuit.num_inputs, self.address_bits, 2 * self.address_bits)
+            )
+
+    @property
+    def num_nodes(self) -> int:
+        """``2**address_bits`` — exponential in the representation size."""
+        return 2 ** self.address_bits
+
+    def has_edge(self, u: BitNode, v: BitNode) -> bool:
+        """Edge test by one circuit evaluation."""
+        if len(u) != self.address_bits or len(v) != self.address_bits:
+            raise ValueError("nodes must be %d-bit tuples" % self.address_bits)
+        return self.circuit.evaluate(tuple(u) + tuple(v))
+
+    def expand(self) -> Digraph:
+        """The explicit graph: ``2**(2n)`` circuit evaluations.
+
+        This is the exponential blow-up the NEXP-hardness result rides on;
+        only call it for small ``address_bits``.
+        """
+        nodes = [
+            tuple(bits) for bits in product((0, 1), repeat=self.address_bits)
+        ]
+        edges = [
+            (u, v) for u in nodes for v in nodes if self.has_edge(u, v)
+        ]
+        return Digraph(nodes, edges)

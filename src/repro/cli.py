@@ -1,0 +1,162 @@
+"""Command-line interface: evaluate, analyse, and classify programs.
+
+Usage::
+
+    python -m repro run PROGRAM.dl --db DIR [--semantics inflationary]
+    python -m repro analyze PROGRAM.dl --db DIR [--count-limit N]
+    python -m repro classify PROGRAM.dl
+
+``--db DIR`` points at a directory of headerless ``<relation>.csv`` files
+(one tuple per row); the schema is inferred from the program's EDB arities.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis.classify import EngineSupport, classify
+from .core.parser import parse_program
+from .core.program import Program
+from .core.satreduction import analyze_fixpoints
+from .core.semantics import (
+    inflationary_semantics,
+    naive_least_fixpoint,
+    seminaive_least_fixpoint,
+    stratified_semantics,
+    well_founded_semantics,
+)
+from .core.validation import check_database, safety_report
+from .db import csvio
+from .db.database import Database
+
+_ENGINES = {
+    "inflationary": inflationary_semantics,
+    "naive": naive_least_fixpoint,
+    "seminaive": seminaive_least_fixpoint,
+    "stratified": stratified_semantics,
+}
+
+
+def _load_program(path: str, carrier: str = None) -> Program:
+    return parse_program(Path(path).read_text(), carrier=carrier)
+
+
+def _load_database(directory: str, program: Program) -> Database:
+    schema = {pred: program.arity(pred) for pred in program.edb_predicates}
+    db = csvio.load_database(directory, schema)
+    check_database(program, db)
+    return db
+
+
+def _print_relations(idb) -> None:
+    for pred in sorted(idb):
+        rel = idb[pred]
+        print("%s/%d (%d tuples):" % (pred, rel.arity, len(rel)))
+        for t in sorted(rel, key=repr):
+            print("  " + ", ".join(str(v) for v in t))
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Evaluate a program on a CSV database under a chosen semantics."""
+    program = _load_program(args.program, carrier=args.carrier)
+    db = _load_database(args.db, program)
+    if args.semantics == "wellfounded":
+        result = well_founded_semantics(program, db)
+        print("well-founded model (total=%s):" % result.is_total)
+        print("TRUE:")
+        _print_relations(result.true_idb())
+        if not result.is_total:
+            print("UNDEFINED:")
+            _print_relations(result.undefined_idb())
+        return 0
+    engine = _ENGINES[args.semantics]
+    result = engine(program, db)
+    print("engine=%s rounds=%d" % (result.engine, result.rounds))
+    _print_relations(result.idb)
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Fixpoint analysis: existence, uniqueness, count, least fixpoint."""
+    program = _load_program(args.program, carrier=args.carrier)
+    db = _load_database(args.db, program)
+    analysis = analyze_fixpoints(program, db, count_limit=args.count_limit)
+    print("fixpoint exists : %s" % analysis.exists)
+    print("unique          : %s" % analysis.unique)
+    print(
+        "count           : %s"
+        % (">%d" % args.count_limit if analysis.count is None else analysis.count)
+    )
+    print("least exists    : %s" % analysis.least_exists)
+    if analysis.least is not None:
+        print("least fixpoint:")
+        _print_relations(analysis.least)
+    elif analysis.sample is not None:
+        print("sample fixpoint:")
+        _print_relations(analysis.sample)
+    return 0
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    """Report a program's class, strata, safety, and engine support."""
+    program = _load_program(args.program)
+    kind = classify(program)
+    support = EngineSupport.for_program(program)
+    print("class            : %s" % kind.value)
+    print("IDB predicates   : %s" % ", ".join(sorted(program.idb_predicates)))
+    print("EDB predicates   : %s" % ", ".join(sorted(program.edb_predicates)))
+    print("safety           : %s" % safety_report(program))
+    print("least fixpoint ok: %s" % support.least_fixpoint)
+    print("stratified ok    : %s" % support.stratified)
+    print("inflationary ok  : %s (always)" % support.inflationary)
+    if support.stratified:
+        from .core.semantics import stratify
+
+        for i, layer in enumerate(stratify(program)):
+            print("stratum %d        : %s" % (i, ", ".join(sorted(layer))))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DATALOG¬ engines and fixpoint analysis "
+        "(Kolaitis & Papadimitriou, 'Why Not Negation by Fixpoint?')",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="evaluate a program on a CSV database")
+    run.add_argument("program", help="path to a .dl program file")
+    run.add_argument("--db", required=True, help="directory of <name>.csv files")
+    run.add_argument(
+        "--semantics",
+        choices=sorted(_ENGINES) + ["wellfounded"],
+        default="inflationary",
+    )
+    run.add_argument("--carrier", default=None, help="goal predicate")
+    run.set_defaults(fn=cmd_run)
+
+    analyze = sub.add_parser("analyze", help="fixpoint existence/uniqueness/least")
+    analyze.add_argument("program")
+    analyze.add_argument("--db", required=True)
+    analyze.add_argument("--count-limit", type=int, default=10_000)
+    analyze.add_argument("--carrier", default=None)
+    analyze.set_defaults(fn=cmd_analyze)
+
+    cls = sub.add_parser("classify", help="program class / strata / safety")
+    cls.add_argument("program")
+    cls.set_defaults(fn=cmd_classify)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point used by ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

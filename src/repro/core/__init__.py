@@ -1,0 +1,29 @@
+"""Core formalism: DATALOG¬ programs, the operator Theta, and semantics."""
+
+from .literals import Atom, Eq, Negation, Neq
+from .operator import empty_idb, full_idb, is_fixpoint, theta
+from .parser import parse_atom, parse_program, parse_rule
+from .program import Program, ProgramError
+from .rules import Rule, rule
+from .terms import Constant, Variable, term
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "Eq",
+    "Negation",
+    "Neq",
+    "Program",
+    "ProgramError",
+    "Rule",
+    "empty_idb",
+    "full_idb",
+    "is_fixpoint",
+    "parse_atom",
+    "parse_program",
+    "parse_rule",
+    "rule",
+    "term",
+    "theta",
+    "Variable",
+]

@@ -1,0 +1,91 @@
+"""Fixpoint notions from Section 2: fixpoints, comparison, least fixpoints.
+
+An IDB valuation ``S`` (a ``{pred: Relation}`` map) is a fixpoint of
+``(pi, D)`` when ``Theta(S) = S``.  Valuations are ordered coordinatewise:
+``S <= S'`` iff ``S_i`` is a subset of ``S'_i`` for every IDB predicate.  A
+fixpoint is *least* when it is below every other fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..db.database import Database
+from ..db.relation import Relation
+from .operator import IDBMap, empty_idb, theta
+from .program import Program
+
+
+def idb_leq(left: IDBMap, right: IDBMap) -> bool:
+    """Coordinatewise inclusion ``left <= right``.
+
+    Both maps must be over the same predicates.
+    """
+    if set(left) != set(right):
+        raise ValueError(
+            "valuations over different predicates: %s vs %s"
+            % (sorted(left), sorted(right))
+        )
+    return all(left[p].issubset(right[p]) for p in left)
+
+
+def idb_equal(left: IDBMap, right: IDBMap) -> bool:
+    """Coordinatewise equality of two IDB valuations."""
+    return idb_leq(left, right) and idb_leq(right, left)
+
+
+def idb_intersection(valuations: Iterable[IDBMap]) -> IDBMap:
+    """Coordinatewise intersection of a non-empty family of valuations.
+
+    This is the object at the heart of Theorem 3: *"(pi, D) has a least
+    fixpoint if and only if the (coordinatewise) intersection of all
+    fixpoints is a fixpoint."*
+    """
+    valuations = list(valuations)
+    if not valuations:
+        raise ValueError("intersection of an empty family of valuations")
+    out = dict(valuations[0])
+    for v in valuations[1:]:
+        for p in out:
+            out[p] = out[p].intersection(v[p])
+    return out
+
+
+def idb_union(valuations: Iterable[IDBMap]) -> IDBMap:
+    """Coordinatewise union of a non-empty family of valuations."""
+    valuations = list(valuations)
+    if not valuations:
+        raise ValueError("union of an empty family of valuations")
+    out = dict(valuations[0])
+    for v in valuations[1:]:
+        for p in out:
+            out[p] = out[p].union(v[p])
+    return out
+
+
+def incomparable(left: IDBMap, right: IDBMap) -> bool:
+    """True when neither valuation is coordinatewise below the other."""
+    return not idb_leq(left, right) and not idb_leq(right, left)
+
+
+def is_fixpoint(program: Program, db: Database, idb: IDBMap) -> bool:
+    """``Theta(idb) == idb``, the defining equation of a fixpoint."""
+    return idb_equal(theta(program, db, idb), {p: r.with_name(p) for p, r in idb.items()})
+
+
+def least_among(fixpoints: List[IDBMap]) -> Optional[IDBMap]:
+    """Return the least element of a list of valuations, if one exists.
+
+    Used to determine whether an exhaustively enumerated fixpoint family
+    possesses a least member (it may not: the paper's even cycles carry two
+    incomparable fixpoints).
+    """
+    for candidate in fixpoints:
+        if all(idb_leq(candidate, other) for other in fixpoints):
+            return candidate
+    return None
+
+
+def total_idb_size(idb: IDBMap) -> int:
+    """Total number of tuples across an IDB valuation."""
+    return sum(len(r) for r in idb.values())

@@ -1,0 +1,252 @@
+"""Grounding: instantiating a program over a database's universe.
+
+A *ground rule* is a rule instance where every variable has been replaced by
+a universe element, the EDB literals and comparisons have been checked (and
+dropped), and only IDB literals remain:
+
+    head  <-  p_1, ..., p_a, not n_1, ..., not n_b
+
+with ``head``, ``p_i``, ``n_j`` ground IDB atoms.  The fixpoint condition
+``Theta(S) = S`` then becomes, for every ground IDB atom ``h``,
+
+    h in S  <=>  some ground rule for h has all p_i in S and no n_j in S,
+
+which is exactly the Boolean system compiled to CNF by
+:mod:`repro.core.satreduction`, and the input to the well-founded and
+brute-force-enumeration engines.
+
+Grounding binds variables through positive EDB atoms first (joins) and
+completes the remaining variables over the universe, pruning with EDB
+negations and comparisons as soon as their variables are bound — mirroring
+:mod:`repro.core.operator` but leaving IDB literals symbolic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..db.database import Database
+from ..db.index import HashIndex
+from ..db.relation import Relation
+from .literals import Atom, Eq, Negation, Neq
+from .operator import Binding, _filter_holds, _match_tuple
+from .program import Program
+from .rules import Rule
+from .terms import Constant, Variable
+
+GroundAtom = Tuple[str, Tuple[Any, ...]]
+"""A ground IDB atom, keyed as ``(predicate, value_tuple)``."""
+
+
+@dataclass(frozen=True)
+class GroundRule:
+    """One ground instance: ``head <- pos..., not neg...`` over IDB atoms."""
+
+    head: GroundAtom
+    pos: Tuple[GroundAtom, ...]
+    neg: Tuple[GroundAtom, ...]
+
+    def fires(
+        self,
+        true_atoms: Set[GroundAtom],
+        negation_reference: Optional[Set[GroundAtom]] = None,
+    ) -> bool:
+        """Whether the body holds under ``true_atoms``.
+
+        Positive literals are checked against ``true_atoms``.  Negative
+        literals ``not n`` hold when ``n`` is absent from
+        ``negation_reference`` (default: ``true_atoms`` itself).  Passing a
+        separate reference is what the alternating-fixpoint (well-founded)
+        computation needs.
+        """
+        if not all(p in true_atoms for p in self.pos):
+            return False
+        reference = true_atoms if negation_reference is None else negation_reference
+        return all(n not in reference for n in self.neg)
+
+    def __str__(self) -> str:
+        def fmt(a: GroundAtom) -> str:
+            return "%s(%s)" % (a[0], ", ".join(map(str, a[1])))
+
+        body = [fmt(p) for p in self.pos] + ["!%s" % fmt(n) for n in self.neg]
+        if not body:
+            return "%s." % fmt(self.head)
+        return "%s :- %s." % (fmt(self.head), ", ".join(body))
+
+
+class GroundProgram:
+    """The full ground instantiation of ``(program, db)``.
+
+    Attributes
+    ----------
+    rules:
+        All ground rules (IDB literals only).
+    by_head:
+        Ground rules grouped by head atom.
+    derivable:
+        Atoms heading at least one ground rule.  Any fixpoint is a subset
+        of this set: ``Theta`` never produces an underivable atom.
+    """
+
+    def __init__(self, program: Program, db: Database, rules: Iterable[GroundRule]) -> None:
+        self.program = program
+        self.db = db
+        self.rules: Tuple[GroundRule, ...] = tuple(rules)
+        by_head: Dict[GroundAtom, List[GroundRule]] = {}
+        for r in self.rules:
+            by_head.setdefault(r.head, []).append(r)
+        self.by_head: Dict[GroundAtom, List[GroundRule]] = by_head
+        self.derivable: FrozenSet[GroundAtom] = frozenset(by_head)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def atom_space_size(self) -> int:
+        """Size of the full IDB atom space ``sum_i |A|^{n_i}``."""
+        n = len(self.db.universe)
+        return sum(n ** self.program.arity(p) for p in self.program.idb_predicates)
+
+    def is_fixpoint(self, atoms: Set[GroundAtom]) -> bool:
+        """Check ``Theta(S) = S`` using the ground system.
+
+        ``atoms`` must contain ground IDB atoms only.
+        """
+        derived = {
+            head
+            for head, rules in self.by_head.items()
+            if any(r.fires(atoms) for r in rules)
+        }
+        return derived == set(atoms)
+
+    def to_idb_map(self, atoms: Set[GroundAtom]) -> Dict[str, Relation]:
+        """Convert a ground-atom set to a ``{pred: Relation}`` valuation."""
+        grouped: Dict[str, Set[Tuple]] = {p: set() for p in self.program.idb_predicates}
+        for pred, values in atoms:
+            grouped[pred].add(values)
+        return {
+            p: Relation(p, self.program.arity(p), tuples)
+            for p, tuples in grouped.items()
+        }
+
+    def from_idb_map(self, idb: Dict[str, Relation]) -> Set[GroundAtom]:
+        """Convert a ``{pred: Relation}`` valuation to a ground-atom set."""
+        return {
+            (pred, tuple(values))
+            for pred, rel in idb.items()
+            for values in rel
+        }
+
+
+def ground_rule_instances(
+    rule: Rule, program: Program, interp: Database
+) -> List[GroundRule]:
+    """All ground instances of one rule over the database's universe.
+
+    EDB literals and comparisons are solved away during instantiation;
+    the returned instances carry only IDB literals.
+    """
+    universe = tuple(sorted(interp.universe, key=repr))
+    idb = program.idb_predicates
+
+    edb_positives = [a for a in rule.positive_atoms() if a.pred not in idb]
+    idb_positives = [a for a in rule.positive_atoms() if a.pred in idb]
+    edb_filters = [
+        t
+        for t in rule.body
+        if isinstance(t, (Eq, Neq))
+        or (isinstance(t, Negation) and t.atom.pred not in idb)
+    ]
+    idb_negatives = [
+        t for t in rule.body if isinstance(t, Negation) and t.atom.pred in idb
+    ]
+
+    arities = program.arities
+    bound: Set[Variable] = set()
+    subs: List[Binding] = [{}]
+
+    def apply_ready_filters() -> None:
+        nonlocal subs, edb_filters
+        ready = [f for f in edb_filters if f.variables() <= bound]
+        rest = [f for f in edb_filters if f.variables() - bound]
+        for f in ready:
+            subs = [s for s in subs if _filter_holds(f, s, interp, arities)]
+        edb_filters = rest
+
+    # Bind through EDB positives (joins), most-connected first.
+    remaining = edb_positives[:]
+    while remaining and subs:
+        remaining.sort(
+            key=lambda a: (
+                -len(a.variables() & bound),
+                len(interp.get(a.pred) or ()),
+            )
+        )
+        atom = remaining.pop(0)
+        rel = interp.get(atom.pred) or Relation.empty(atom.pred, atom.arity)
+        key_positions = [
+            i
+            for i, arg in enumerate(atom.args)
+            if isinstance(arg, Constant) or arg in bound
+        ]
+        index = HashIndex(rel, key_positions)
+        new_subs: List[Binding] = []
+        for sub in subs:
+            key = tuple(
+                atom.args[i].value
+                if isinstance(atom.args[i], Constant)
+                else sub[atom.args[i]]
+                for i in key_positions
+            )
+            for t in index.lookup(key):
+                extended = _match_tuple(atom, t, sub)
+                if extended is not None:
+                    new_subs.append(extended)
+        subs = new_subs
+        bound |= atom.variables()
+        apply_ready_filters()
+
+    # Active-domain completion for every remaining rule variable.
+    unbound = sorted(rule.variables() - bound, key=lambda v: v.name)
+    while unbound and subs:
+        def readiness(v: Variable) -> int:
+            would = bound | {v}
+            return sum(1 for f in edb_filters if f.variables() <= would)
+
+        unbound.sort(key=lambda v: (-readiness(v), v.name))
+        var = unbound.pop(0)
+        extended_subs: List[Binding] = []
+        for s in subs:
+            for value in universe:
+                ns = dict(s)
+                ns[var] = value
+                extended_subs.append(ns)
+        subs = extended_subs
+        bound.add(var)
+        apply_ready_filters()
+
+    assert not edb_filters or not subs
+
+    out: List[GroundRule] = []
+    for sub in subs:
+        head = (rule.head.pred, rule.head.ground_tuple(sub))
+        pos = tuple((a.pred, a.ground_tuple(sub)) for a in idb_positives)
+        neg = tuple((n.atom.pred, n.atom.ground_tuple(sub)) for n in idb_negatives)
+        out.append(GroundRule(head, pos, neg))
+    return out
+
+
+def ground_program(program: Program, db: Database) -> GroundProgram:
+    """Ground every rule of ``program`` over ``db``.
+
+    Duplicate ground instances (same head and body) are collapsed.
+    """
+    interp = db
+    seen: Set[GroundRule] = set()
+    ordered: List[GroundRule] = []
+    for rule in program.rules:
+        for g in ground_rule_instances(rule, program, interp):
+            if g not in seen:
+                seen.add(g)
+                ordered.append(g)
+    return GroundProgram(program, db, ordered)

@@ -1,0 +1,140 @@
+"""Literals: the building blocks of rule bodies.
+
+Following Section 2 of the paper, a body literal is one of
+
+* an atomic formula ``Q(x_1, ..., x_n)``           — :class:`Atom`
+* a negated atomic formula ``not Q(x_1, ..., x_n)`` — :class:`Negation`
+* an equality ``x_i = x_j``                         — :class:`Eq`
+* an inequality ``x_i != x_j``                      — :class:`Neq`
+
+Heads are always (positive) atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Tuple, Union
+
+from .terms import Constant, Term, Variable, term
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An atomic formula ``pred(args)``."""
+
+    pred: str
+    args: Tuple[Term, ...]
+
+    def __init__(self, pred: str, args) -> None:
+        object.__setattr__(self, "pred", pred)
+        object.__setattr__(self, "args", tuple(term(a) for a in args))
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.args)
+
+    def variables(self) -> FrozenSet[Variable]:
+        """The set of variables among the arguments."""
+        return frozenset(a for a in self.args if isinstance(a, Variable))
+
+    def negate(self) -> "Negation":
+        """The negated literal ``not self``."""
+        return Negation(self)
+
+    def substitute(self, binding) -> "Atom":
+        """Apply a ``{Variable: value}`` binding, producing constants."""
+        return Atom(
+            self.pred,
+            tuple(
+                Constant(binding[a]) if isinstance(a, Variable) and a in binding else a
+                for a in self.args
+            ),
+        )
+
+    def ground_tuple(self, binding) -> Tuple[Any, ...]:
+        """The value tuple of this atom under a total binding.
+
+        Raises ``KeyError`` if some variable is unbound.
+        """
+        return tuple(
+            binding[a] if isinstance(a, Variable) else a.value for a in self.args
+        )
+
+    def is_ground(self) -> bool:
+        """True when all arguments are constants."""
+        return all(isinstance(a, Constant) for a in self.args)
+
+    def __str__(self) -> str:
+        return "%s(%s)" % (self.pred, ", ".join(str(a) for a in self.args))
+
+
+@dataclass(frozen=True)
+class Negation:
+    """A negated atomic formula ``not atom``."""
+
+    atom: Atom
+
+    def variables(self) -> FrozenSet[Variable]:
+        """Variables of the underlying atom."""
+        return self.atom.variables()
+
+    def __str__(self) -> str:
+        return "!%s" % self.atom
+
+
+@dataclass(frozen=True)
+class Eq:
+    """An equality literal ``left = right``."""
+
+    left: Term
+    right: Term
+
+    def __init__(self, left, right) -> None:
+        object.__setattr__(self, "left", term(left))
+        object.__setattr__(self, "right", term(right))
+
+    def variables(self) -> FrozenSet[Variable]:
+        """Variables among the two sides."""
+        return frozenset(t for t in (self.left, self.right) if isinstance(t, Variable))
+
+    def holds(self, lv: Any, rv: Any) -> bool:
+        """Evaluate on two values."""
+        return lv == rv
+
+    def __str__(self) -> str:
+        return "%s = %s" % (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Neq:
+    """An inequality literal ``left != right``."""
+
+    left: Term
+    right: Term
+
+    def __init__(self, left, right) -> None:
+        object.__setattr__(self, "left", term(left))
+        object.__setattr__(self, "right", term(right))
+
+    def variables(self) -> FrozenSet[Variable]:
+        """Variables among the two sides."""
+        return frozenset(t for t in (self.left, self.right) if isinstance(t, Variable))
+
+    def holds(self, lv: Any, rv: Any) -> bool:
+        """Evaluate on two values."""
+        return lv != rv
+
+    def __str__(self) -> str:
+        return "%s != %s" % (self.left, self.right)
+
+
+Literal = Union[Atom, Negation, Eq, Neq]
+
+Comparison = (Eq, Neq)
+"""Tuple of comparison literal classes, for isinstance checks."""
+
+
+def literal_variables(lit: Literal) -> FrozenSet[Variable]:
+    """Variables of any literal kind."""
+    return lit.variables()

@@ -1,0 +1,224 @@
+"""Textual syntax for DATALOG¬ programs.
+
+Grammar (comments start with ``%`` or ``#`` and run to end of line)::
+
+    program  := rule*
+    rule     := atom ( ":-" literals )? "."
+    literals := literal ("," literal)*
+    literal  := "!" atom | "not" atom | atom | term "=" term | term "!=" term
+    atom     := IDENT "(" term ("," term)* ")" | IDENT "(" ")"
+    term     := VARIABLE | CONSTANT
+
+Identifiers starting with an upper-case letter or ``_`` are variables;
+lower-case identifiers, integers, and single-quoted strings are constants.
+
+Example::
+
+    % the paper's program pi_1
+    T(X) :- E(Y, X), !T(Y).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .literals import Atom, Eq, Literal, Negation, Neq
+from .program import Program
+from .rules import Rule
+from .terms import Constant, Term, Variable
+
+
+class ParseError(ValueError):
+    """Raised on malformed program text, with line/column context."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__("%s (line %d, column %d)" % (message, line, column))
+        self.line = line
+        self.column = column
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>[%\#][^\n]*)
+  | (?P<ARROW>:-)
+  | (?P<NEQ>!=)
+  | (?P<NOT>not\b)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<INT>-?\d+)
+  | (?P<STRING>'(?:[^'\\]|\\.)*')
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<DOT>\.)
+  | (?P<BANG>!)
+  | (?P<EQ>=)
+""",
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return "_Token(%s, %r)" % (self.kind, self.text)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens = []
+    pos = 0
+    line = 1
+    line_start = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(
+                "unexpected character %r" % text[pos], line, pos - line_start + 1
+            )
+        kind = m.lastgroup
+        value = m.group()
+        if kind not in ("WS", "COMMENT"):
+            tokens.append(_Token(kind, value, line, m.start() - line_start + 1))
+        newlines = value.count("\n")
+        if newlines:
+            line += newlines
+            line_start = m.start() + value.rfind("\n") + 1
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._pos = 0
+
+    def _peek(self) -> Optional[_Token]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> _Token:
+        tok = self._peek()
+        if tok is None:
+            last = self._tokens[-1] if self._tokens else _Token("EOF", "", 1, 1)
+            raise ParseError("unexpected end of input", last.line, last.column)
+        self._pos += 1
+        return tok
+
+    def _expect(self, kind: str) -> _Token:
+        tok = self._next()
+        if tok.kind != kind:
+            raise ParseError(
+                "expected %s, found %r" % (kind, tok.text), tok.line, tok.column
+            )
+        return tok
+
+    # ----------------------------------------------------------------
+
+    def parse_program(self) -> List[Rule]:
+        rules = []
+        while self._peek() is not None:
+            rules.append(self.parse_rule())
+        return rules
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom()
+        tok = self._peek()
+        body: List[Literal] = []
+        if tok is not None and tok.kind == "ARROW":
+            self._next()
+            # Allow an empty body after ":-" (fact-schema form).
+            if self._peek() is not None and self._peek().kind != "DOT":
+                body.append(self.parse_literal())
+                while self._peek() is not None and self._peek().kind == "COMMA":
+                    self._next()
+                    body.append(self.parse_literal())
+        self._expect("DOT")
+        return Rule(head, body)
+
+    def parse_literal(self) -> Literal:
+        tok = self._peek()
+        if tok is None:
+            raise ParseError("expected a literal", 0, 0)
+        if tok.kind in ("BANG", "NOT"):
+            self._next()
+            return Negation(self.parse_atom())
+        # Could be an atom or a comparison; decide by lookahead.
+        if tok.kind == "IDENT" and self._lookahead_is_atom():
+            return self.parse_atom()
+        left = self.parse_term()
+        op = self._next()
+        if op.kind == "EQ":
+            return Eq(left, self.parse_term())
+        if op.kind == "NEQ":
+            return Neq(left, self.parse_term())
+        raise ParseError(
+            "expected '=' or '!=' after term, found %r" % op.text, op.line, op.column
+        )
+
+    def _lookahead_is_atom(self) -> bool:
+        nxt = self._pos + 1
+        return nxt < len(self._tokens) and self._tokens[nxt].kind == "LPAREN"
+
+    def parse_atom(self) -> Atom:
+        name = self._expect("IDENT")
+        self._expect("LPAREN")
+        args: List[Term] = []
+        if self._peek() is not None and self._peek().kind != "RPAREN":
+            args.append(self.parse_term())
+            while self._peek() is not None and self._peek().kind == "COMMA":
+                self._next()
+                args.append(self.parse_term())
+        self._expect("RPAREN")
+        return Atom(name.text, args)
+
+    def parse_term(self) -> Term:
+        tok = self._next()
+        if tok.kind == "IDENT":
+            if tok.text[0].isupper() or tok.text[0] == "_":
+                return Variable(tok.text)
+            return Constant(tok.text)
+        if tok.kind == "INT":
+            return Constant(int(tok.text))
+        if tok.kind == "STRING":
+            raw = tok.text[1:-1]
+            return Constant(raw.replace("\\'", "'").replace("\\\\", "\\"))
+        if tok.kind == "NOT":
+            # "not" used as a plain lower-case constant/identifier.
+            return Constant(tok.text)
+        raise ParseError("expected a term, found %r" % tok.text, tok.line, tok.column)
+
+
+def parse_program(text: str, carrier: Optional[str] = None) -> Program:
+    """Parse program text into a :class:`Program`."""
+    return Program(_Parser(text).parse_program(), carrier=carrier)
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule (must consume all input)."""
+    parser = _Parser(text)
+    rule = parser.parse_rule()
+    if parser._peek() is not None:
+        tok = parser._peek()
+        raise ParseError("trailing input after rule", tok.line, tok.column)
+    return rule
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom (must consume all input)."""
+    parser = _Parser(text)
+    atom = parser.parse_atom()
+    if parser._peek() is not None:
+        tok = parser._peek()
+        raise ParseError("trailing input after atom", tok.line, tok.column)
+    return atom

@@ -1,0 +1,66 @@
+"""Round-trippable pretty-printing of programs.
+
+``parse_program(pretty(p)) == p`` holds for every program whose constants
+are integers or strings (the property is tested with hypothesis).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .literals import Atom, Eq, Literal, Negation, Neq
+from .program import Program
+from .rules import Rule
+from .terms import Constant, Term, Variable
+
+_BARE_CONSTANT_RE = re.compile(r"[a-z][A-Za-z0-9_]*$")
+
+
+def format_term(t: Term) -> str:
+    """Render a term; constants are quoted whenever a bare rendering would
+    not parse back to the same constant."""
+    if isinstance(t, Variable):
+        return t.name
+    value = t.value
+    if isinstance(value, bool):
+        # bool is an int subclass; quote so it round-trips as a string repr.
+        return "'%s'" % value
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str) and _BARE_CONSTANT_RE.match(value) and value != "not":
+        return value
+    text = str(value).replace("\\", "\\\\").replace("'", "\\'")
+    return "'%s'" % text
+
+
+def format_atom(a: Atom) -> str:
+    """Render an atom, e.g. ``E(X, Y)``."""
+    return "%s(%s)" % (a.pred, ", ".join(format_term(t) for t in a.args))
+
+
+def format_literal(lit: Literal) -> str:
+    """Render any body literal."""
+    if isinstance(lit, Atom):
+        return format_atom(lit)
+    if isinstance(lit, Negation):
+        return "!%s" % format_atom(lit.atom)
+    if isinstance(lit, Eq):
+        return "%s = %s" % (format_term(lit.left), format_term(lit.right))
+    if isinstance(lit, Neq):
+        return "%s != %s" % (format_term(lit.left), format_term(lit.right))
+    raise TypeError("not a literal: %r" % (lit,))
+
+
+def format_rule(r: Rule) -> str:
+    """Render a rule, e.g. ``T(X) :- E(Y, X), !T(Y).``"""
+    if not r.body:
+        return "%s." % format_atom(r.head)
+    return "%s :- %s." % (
+        format_atom(r.head),
+        ", ".join(format_literal(t) for t in r.body),
+    )
+
+
+def format_program(p: Program) -> str:
+    """Render a whole program, one rule per line."""
+    return "\n".join(format_rule(r) for r in p.rules)

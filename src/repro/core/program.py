@@ -1,0 +1,173 @@
+"""DATALOG¬ programs: finite sets of rules with an EDB/IDB split.
+
+Per Section 2 of the paper: *"The database relations of pi are those
+relational symbols that do not appear at the head of any rule; those that
+appear are called nondatabase relations."*  We keep the paper's terminology
+(database/nondatabase) alongside the usual EDB/IDB names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from .literals import Atom, Negation
+from .rules import Rule
+
+
+class ProgramError(ValueError):
+    """Raised for ill-formed programs (e.g. inconsistent arities)."""
+
+
+class Program:
+    """An immutable DATALOG¬ program.
+
+    Parameters
+    ----------
+    rules:
+        The rules, evaluated as a set (order is preserved for display only).
+    carrier:
+        Optional goal predicate for inflationary semantics (Section 4); must
+        be an IDB predicate when given.  Defaults to the single IDB
+        predicate when there is exactly one.
+    """
+
+    __slots__ = ("rules", "_carrier", "_arities", "_idb", "_edb")
+
+    def __init__(self, rules: Iterable[Rule], carrier: Optional[str] = None) -> None:
+        rule_list = tuple(rules)
+        if not rule_list:
+            raise ProgramError("a program must contain at least one rule")
+        self.rules = rule_list
+        self._arities = self._collect_arities(rule_list)
+        self._idb = frozenset(r.head.pred for r in rule_list)
+        used = set()
+        for r in rule_list:
+            used.update(r.body_predicates())
+        self._edb = frozenset(used - self._idb)
+        if carrier is not None and carrier not in self._idb:
+            raise ProgramError(
+                "carrier %r is not a nondatabase (IDB) predicate" % carrier
+            )
+        self._carrier = carrier
+
+    @staticmethod
+    def _collect_arities(rules: Tuple[Rule, ...]) -> Dict[str, int]:
+        arities: Dict[str, int] = {}
+        for r in rules:
+            atoms: List[Atom] = [r.head]
+            for t in r.body:
+                if isinstance(t, Atom):
+                    atoms.append(t)
+                elif isinstance(t, Negation):
+                    atoms.append(t.atom)
+            for a in atoms:
+                seen = arities.get(a.pred)
+                if seen is None:
+                    arities[a.pred] = a.arity
+                elif seen != a.arity:
+                    raise ProgramError(
+                        "predicate %s used with arities %d and %d"
+                        % (a.pred, seen, a.arity)
+                    )
+        return arities
+
+    # ------------------------------------------------------------------
+    # Vocabulary
+    # ------------------------------------------------------------------
+
+    @property
+    def idb_predicates(self) -> FrozenSet[str]:
+        """Nondatabase (intensional) predicates: those heading some rule."""
+        return self._idb
+
+    @property
+    def edb_predicates(self) -> FrozenSet[str]:
+        """Database (extensional) predicates: used but never defined."""
+        return self._edb
+
+    @property
+    def predicates(self) -> FrozenSet[str]:
+        """All predicate symbols of the program."""
+        return self._idb | self._edb
+
+    def arity(self, pred: str) -> int:
+        """Arity of a predicate of the program."""
+        try:
+            return self._arities[pred]
+        except KeyError:
+            raise KeyError("predicate %r does not occur in the program" % pred)
+
+    @property
+    def arities(self) -> Dict[str, int]:
+        """Copy of the predicate-arity map."""
+        return dict(self._arities)
+
+    @property
+    def carrier(self) -> str:
+        """The goal predicate for inflationary semantics.
+
+        Defaults to the unique IDB predicate; programs with several IDB
+        predicates must name one explicitly.
+        """
+        if self._carrier is not None:
+            return self._carrier
+        if len(self._idb) == 1:
+            return next(iter(self._idb))
+        raise ProgramError(
+            "program has %d IDB predicates; construct it with carrier=..."
+            % len(self._idb)
+        )
+
+    def with_carrier(self, carrier: str) -> "Program":
+        """Return the same program with a (new) carrier predicate."""
+        return Program(self.rules, carrier=carrier)
+
+    # ------------------------------------------------------------------
+    # Classification helpers (see also repro.analysis.classify)
+    # ------------------------------------------------------------------
+
+    def is_positive(self) -> bool:
+        """True for DATALOG programs: no negation, no inequality."""
+        return all(r.is_positive() for r in self.rules)
+
+    def is_safe(self) -> bool:
+        """True when every rule is range-restricted."""
+        return all(r.is_safe() for r in self.rules)
+
+    def rules_for(self, pred: str) -> Tuple[Rule, ...]:
+        """The rules whose head predicate is ``pred``."""
+        return tuple(r for r in self.rules if r.head.pred == pred)
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+
+    def union(self, other: "Program", carrier: Optional[str] = None) -> "Program":
+        """The program with both rule sets (used to compose reductions)."""
+        return Program(self.rules + other.rules, carrier=carrier)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Program):
+            return NotImplemented
+        return frozenset(self.rules) == frozenset(other.rules) and (
+            self._carrier == other._carrier
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.rules), self._carrier))
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self.rules)
+
+    def __repr__(self) -> str:
+        return "Program(%d rules, IDB=%s, EDB=%s)" % (
+            len(self.rules),
+            "{%s}" % ",".join(sorted(self._idb)),
+            "{%s}" % ",".join(sorted(self._edb)),
+        )

@@ -1,0 +1,115 @@
+"""Rules ``head :- body`` of DATALOG¬ programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Tuple
+
+from .literals import Atom, Comparison, Eq, Literal, Negation, Neq
+from .terms import Variable
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A rule ``head :- t_1, ..., t_r``.
+
+    ``body`` may be empty (a *fact schema*: under active-domain semantics a
+    bodyless rule with variables in the head derives every tuple over the
+    universe for those positions, which is exactly what the paper's input
+    gate rules in Theorem 4 rely on).
+    """
+
+    head: Atom
+    body: Tuple[Literal, ...]
+
+    def __init__(self, head: Atom, body: Iterable[Literal] = ()) -> None:
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", tuple(body))
+
+    # ------------------------------------------------------------------
+    # Views of the body
+    # ------------------------------------------------------------------
+
+    def positive_atoms(self) -> List[Atom]:
+        """The positive atomic literals of the body, in order."""
+        return [t for t in self.body if isinstance(t, Atom)]
+
+    def negated_atoms(self) -> List[Negation]:
+        """The negated literals of the body, in order."""
+        return [t for t in self.body if isinstance(t, Negation)]
+
+    def comparisons(self) -> List[Literal]:
+        """The equality/inequality literals of the body, in order."""
+        return [t for t in self.body if isinstance(t, Comparison)]
+
+    def body_predicates(self) -> FrozenSet[str]:
+        """Predicate symbols used (positively or negatively) in the body."""
+        preds = set()
+        for t in self.body:
+            if isinstance(t, Atom):
+                preds.add(t.pred)
+            elif isinstance(t, Negation):
+                preds.add(t.atom.pred)
+        return frozenset(preds)
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+
+    def head_variables(self) -> FrozenSet[Variable]:
+        """Variables occurring in the head."""
+        return self.head.variables()
+
+    def body_variables(self) -> FrozenSet[Variable]:
+        """Variables occurring anywhere in the body."""
+        out: set = set()
+        for t in self.body:
+            out |= t.variables()
+        return frozenset(out)
+
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables of the rule."""
+        return self.head_variables() | self.body_variables()
+
+    def existential_variables(self) -> FrozenSet[Variable]:
+        """Variables in the body but not the head.
+
+        The paper treats these as existentially quantified with the
+        quantifiers in front of the body.
+        """
+        return self.body_variables() - self.head_variables()
+
+    def positive_variables(self) -> FrozenSet[Variable]:
+        """Variables bound by some positive body atom."""
+        out: set = set()
+        for a in self.positive_atoms():
+            out |= a.variables()
+        return frozenset(out)
+
+    def is_safe(self) -> bool:
+        """Range restriction: every variable occurs in a positive atom.
+
+        The paper's semantics does *not* require safety (variables range
+        over the universe); this predicate exists for analysis and for the
+        classical-Datalog engines that do assume it.
+        """
+        return self.variables() <= self.positive_variables()
+
+    def is_positive(self) -> bool:
+        """True when the body has no negated literal and no inequality.
+
+        This is the paper's definition of a DATALOG (as opposed to
+        DATALOG¬) rule: "no literal in the body of a rule is an inequality
+        or a negated atomic formula".  Equalities are permitted.
+        """
+        return not any(isinstance(t, (Negation, Neq)) for t in self.body)
+
+    def __str__(self) -> str:
+        if not self.body:
+            return "%s." % self.head
+        return "%s :- %s." % (self.head, ", ".join(str(t) for t in self.body))
+
+
+def rule(head: Atom, *body: Literal) -> Rule:
+    """Convenience constructor: ``rule(head, lit1, lit2, ...)``."""
+    return Rule(head, body)

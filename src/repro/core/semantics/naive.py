@@ -1,0 +1,85 @@
+"""Naive least-fixpoint evaluation for (semi)positive programs.
+
+For a DATALOG program (no negated IDB literals), Theta is monotone in the
+IDB arguments, so by the Knaster–Tarski theorem [Ta55] the iteration
+``empty, Theta(empty), Theta^2(empty), ...`` converges to the least fixpoint
+of ``(pi, D)`` — the paper's standard semantics for DATALOG.
+
+Monotonicity requires only that no *IDB* predicate appears negated;
+negation/inequality over EDB relations and constants is harmless
+(semipositive programs), so this engine accepts those too.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...db.database import Database
+from ..fixpoint import idb_equal
+from ..operator import empty_idb, theta
+from ..program import Program
+from .base import EvaluationResult, SemanticsError, is_semipositive
+
+
+def naive_least_fixpoint(
+    program: Program,
+    db: Database,
+    keep_trace: bool = False,
+    max_rounds: Optional[int] = None,
+) -> EvaluationResult:
+    """Iterate Theta from the empty valuation to the least fixpoint.
+
+    Parameters
+    ----------
+    program:
+        A positive or semipositive program (checked).
+    db:
+        The database; IDB relations in it are ignored (iteration starts
+        empty, as the paper specifies).
+    keep_trace:
+        Record the valuation after every round.
+    max_rounds:
+        Safety cap; defaults to the atom-space bound
+        ``sum_i |A|^{arity(S_i)} + 1`` which the iteration can never exceed.
+
+    Raises
+    ------
+    SemanticsError
+        If some IDB predicate occurs negated (Theta would not be monotone
+        and the least fixpoint may not exist).
+    """
+    if not is_semipositive(program):
+        raise SemanticsError(
+            "naive least fixpoint requires a (semi)positive program; "
+            "negated IDB literals make Theta non-monotone"
+        )
+    n = len(db.universe)
+    bound = sum(n ** program.arity(p) for p in program.idb_predicates) + 1
+    limit = bound if max_rounds is None else max_rounds
+
+    current = empty_idb(program)
+    trace = [dict(current)] if keep_trace else None
+    rounds = 0
+    while rounds < limit:
+        nxt = theta(program, db, current)
+        rounds += 1
+        if keep_trace:
+            trace.append(dict(nxt))
+        if idb_equal(nxt, current):
+            rounds -= 1  # the last application changed nothing
+            if keep_trace:
+                trace.pop()
+            break
+        current = nxt
+    else:
+        raise SemanticsError(
+            "no convergence after %d rounds; max_rounds too small?" % limit
+        )
+    return EvaluationResult(
+        program=program,
+        db=db,
+        idb=current,
+        rounds=rounds,
+        engine="naive",
+        trace=trace,
+    )

@@ -1,0 +1,72 @@
+"""Terms of DATALOG¬: variables and constants.
+
+The paper's programs are function-free ("logic programs without function
+symbols"), so a term is either a variable or a constant.  Both are immutable
+values usable as dict keys.
+
+The :func:`term` helper implements the textual convention used throughout the
+library and the parser: identifiers starting with an upper-case letter or
+underscore denote variables, everything else denotes a constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A logic variable, identified by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return "Variable(%r)" % self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant; ``value`` may be any hashable (int, str, ...)."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return "Constant(%r)" % (self.value,)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Term = Union[Variable, Constant]
+
+
+def term(value: Any) -> Term:
+    """Coerce a Python value to a term.
+
+    Strings that look like capitalised identifiers (``"X"``, ``"Node1"``,
+    ``"_tmp"``) become variables; every other value becomes a constant.
+    Existing :class:`Variable`/:class:`Constant` instances pass through.
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if (
+        isinstance(value, str)
+        and value.isidentifier()
+        and (value[0].isupper() or value[0] == "_")
+    ):
+        return Variable(value)
+    return Constant(value)
+
+
+def is_variable(t: Term) -> bool:
+    """True for :class:`Variable` terms."""
+    return isinstance(t, Variable)
+
+
+def is_constant(t: Term) -> bool:
+    """True for :class:`Constant` terms."""
+    return isinstance(t, Constant)

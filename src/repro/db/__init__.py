@@ -1,0 +1,7 @@
+"""Relational substrate: relations, databases, algebra, indexes, CSV I/O."""
+
+from .database import Database
+from .index import HashIndex
+from .relation import Relation
+
+__all__ = ["Database", "HashIndex", "Relation"]

@@ -1,0 +1,170 @@
+"""A small relational-algebra kernel.
+
+The consequence operator of a DATALOG¬ rule is, semantically, a
+select-project-join expression followed by an active-domain completion for
+the variables not bound by positive literals.  This module supplies the
+classical algebra operators on :class:`~repro.db.relation.Relation` values;
+the rule evaluator in :mod:`repro.core.operator` composes them.
+
+Columns are addressed positionally (0-based), as in the unnamed perspective
+of the relational algebra.
+"""
+
+from __future__ import annotations
+
+from itertools import product as _product
+from typing import Any, Callable, Iterable, Sequence, Tuple
+
+from .index import HashIndex
+from .relation import Relation, Tup
+
+
+def select(rel: Relation, predicate: Callable[[Tup], bool], name: str = None) -> Relation:
+    """sigma_predicate(rel): keep the tuples satisfying ``predicate``."""
+    return Relation(name or rel.name, rel.arity, (t for t in rel if predicate(t)))
+
+
+def select_eq(rel: Relation, column: int, value: Any, name: str = None) -> Relation:
+    """sigma_{column = value}(rel)."""
+    _check_column(rel, column)
+    return select(rel, lambda t: t[column] == value, name)
+
+
+def select_col_eq(rel: Relation, left: int, right: int, name: str = None) -> Relation:
+    """sigma_{left = right}(rel) for two columns of the same relation."""
+    _check_column(rel, left)
+    _check_column(rel, right)
+    return select(rel, lambda t: t[left] == t[right], name)
+
+
+def project(rel: Relation, columns: Sequence[int], name: str = None) -> Relation:
+    """pi_columns(rel); columns may repeat or reorder."""
+    for c in columns:
+        _check_column(rel, c)
+    cols = tuple(columns)
+    return Relation(
+        name or rel.name, len(cols), (tuple(t[c] for c in cols) for t in rel)
+    )
+
+
+def rename(rel: Relation, name: str) -> Relation:
+    """rho_name(rel)."""
+    return rel.with_name(name)
+
+
+def union(left: Relation, right: Relation, name: str = None) -> Relation:
+    """Set union of two same-arity relations."""
+    out = left.union(right)
+    return out.with_name(name) if name else out
+
+
+def difference(left: Relation, right: Relation, name: str = None) -> Relation:
+    """Set difference of two same-arity relations."""
+    out = left.difference(right)
+    return out.with_name(name) if name else out
+
+
+def intersection(left: Relation, right: Relation, name: str = None) -> Relation:
+    """Set intersection of two same-arity relations."""
+    out = left.intersection(right)
+    return out.with_name(name) if name else out
+
+
+def cross(left: Relation, right: Relation, name: str = None) -> Relation:
+    """Cartesian product; the result has arity ``left.arity + right.arity``."""
+    return Relation(
+        name or ("%sx%s" % (left.name, right.name)),
+        left.arity + right.arity,
+        (lt + rt for lt in left for rt in right),
+    )
+
+
+def join(
+    left: Relation,
+    right: Relation,
+    on: Iterable[Tuple[int, int]],
+    name: str = None,
+) -> Relation:
+    """Equi-join: pairs ``(i, j)`` in ``on`` require ``left[i] == right[j]``.
+
+    The result concatenates the full left tuple with the full right tuple
+    (no column elimination; project afterwards if needed).  Uses a hash
+    index on the smaller operand.
+    """
+    on = list(on)
+    for i, j in on:
+        _check_column(left, i)
+        _check_column(right, j)
+    if not on:
+        return cross(left, right, name)
+
+    # Build the index on the smaller relation for an O(|L| + |R|) join.
+    swap = len(left) > len(right)
+    build, probe = (right, left) if swap else (left, right)
+    build_cols = [j for _, j in on] if swap else [i for i, _ in on]
+    probe_cols = [i for i, _ in on] if swap else [j for _, j in on]
+
+    index = HashIndex(build, build_cols)
+    out = []
+    for pt in probe:
+        key = tuple(pt[c] for c in probe_cols)
+        for bt in index.lookup(key):
+            out.append((pt + bt) if swap else (bt + pt))
+    # When we swapped, tuples above are (probe=left) + (build=right): correct
+    # order.  When not swapped they are (build=left) + (probe=right): also
+    # correct.  Both branches therefore concatenate left-then-right.
+    return Relation(
+        name or ("%s|x|%s" % (left.name, right.name)),
+        left.arity + right.arity,
+        out,
+    )
+
+
+def semijoin(
+    left: Relation,
+    right: Relation,
+    on: Iterable[Tuple[int, int]],
+    name: str = None,
+) -> Relation:
+    """Left semijoin: left tuples with at least one join partner in right."""
+    on = list(on)
+    index = HashIndex(right, [j for _, j in on])
+    left_cols = [i for i, _ in on]
+    return Relation(
+        name or left.name,
+        left.arity,
+        (t for t in left if index.lookup(tuple(t[c] for c in left_cols))),
+    )
+
+
+def antijoin(
+    left: Relation,
+    right: Relation,
+    on: Iterable[Tuple[int, int]],
+    name: str = None,
+) -> Relation:
+    """Left antijoin: left tuples with *no* join partner in right.
+
+    This is the algebraic face of a negated body literal whose variables are
+    all bound by earlier positive literals.
+    """
+    on = list(on)
+    index = HashIndex(right, [j for _, j in on])
+    left_cols = [i for i, _ in on]
+    return Relation(
+        name or left.name,
+        left.arity,
+        (t for t in left if not index.lookup(tuple(t[c] for c in left_cols))),
+    )
+
+
+def full_relation(name: str, arity: int, universe: Iterable[Any]) -> Relation:
+    """The relation ``A^arity`` (used for active-domain completion)."""
+    return Relation(name, arity, _product(tuple(universe), repeat=arity))
+
+
+def _check_column(rel: Relation, column: int) -> None:
+    if not 0 <= column < rel.arity:
+        raise IndexError(
+            "column %d out of range for %s/%d" % (column, rel.name, rel.arity)
+        )

@@ -1,0 +1,73 @@
+"""CSV import/export for relations and databases.
+
+The examples load edge lists and CNF encodings from small CSV files; this
+module keeps that I/O out of the core.  Values are read back as ``int`` when
+they parse as integers, otherwise as strings, which matches how the examples
+and tests construct universes.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Iterable, Union
+
+from .database import Database
+from .relation import Relation
+
+PathLike = Union[str, Path]
+
+
+def _coerce(value: str) -> Any:
+    try:
+        return int(value)
+    except ValueError:
+        return value
+
+
+def load_relation(path: PathLike, name: str, arity: int) -> Relation:
+    """Read a relation from a headerless CSV file, one tuple per row."""
+    tuples = []
+    with open(path, newline="") as f:
+        for row in csv.reader(f):
+            if not row:
+                continue
+            if len(row) != arity:
+                raise ValueError(
+                    "row %r in %s has %d fields, expected %d"
+                    % (row, path, len(row), arity)
+                )
+            tuples.append(tuple(_coerce(v) for v in row))
+    return Relation(name, arity, tuples)
+
+
+def dump_relation(rel: Relation, path: PathLike) -> None:
+    """Write a relation as headerless CSV, rows sorted for determinism."""
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        for t in sorted(rel, key=repr):
+            writer.writerow(t)
+
+
+def load_database(directory: PathLike, schema: dict) -> Database:
+    """Load ``{name: arity}`` relations from ``directory/<name>.csv``.
+
+    The universe is the set of all values seen across all relations.
+    """
+    directory = Path(directory)
+    relations = []
+    universe = set()
+    for name, arity in schema.items():
+        rel = load_relation(directory / ("%s.csv" % name), name, arity)
+        relations.append(rel)
+        for t in rel:
+            universe.update(t)
+    return Database(universe, relations)
+
+
+def dump_database(db: Database, directory: PathLike) -> None:
+    """Write every relation of ``db`` to ``directory/<name>.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for name in db.relation_names():
+        dump_relation(db[name], directory / ("%s.csv" % name))

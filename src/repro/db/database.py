@@ -1,0 +1,168 @@
+"""Databases: finite structures ``D = (A, R_1, ..., R_l)``.
+
+The paper fixes a finite vocabulary sigma of database relational symbols; a
+database supplies a finite universe ``A`` and a relation over ``A`` for every
+symbol.  :class:`Database` also carries IDB valuations during evaluation —
+an *interpretation* is just a database whose relation map includes values for
+the nondatabase symbols.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from .relation import Relation, Tup
+
+
+class Database:
+    """A finite structure: a universe plus named relations.
+
+    Parameters
+    ----------
+    universe:
+        The (finite) set of elements ``A``.  Every value appearing in a
+        relation tuple must belong to it.
+    relations:
+        Mapping or iterable of :class:`Relation`; names must be unique.
+    check:
+        When true (default) verify that all tuples use universe elements.
+    """
+
+    __slots__ = ("universe", "_relations")
+
+    def __init__(
+        self,
+        universe: Iterable[Any],
+        relations: Iterable[Relation] = (),
+        check: bool = True,
+    ) -> None:
+        self.universe = frozenset(universe)
+        rel_map: Dict[str, Relation] = {}
+        for rel in relations:
+            if rel.name in rel_map:
+                raise ValueError("duplicate relation name %r" % rel.name)
+            rel_map[rel.name] = rel
+        self._relations = rel_map
+        if check:
+            self._check_domains()
+
+    def _check_domains(self) -> None:
+        for rel in self._relations.values():
+            for t in rel:
+                for value in t:
+                    if value not in self.universe:
+                        raise ValueError(
+                            "value %r in relation %s is outside the universe"
+                            % (value, rel.name)
+                        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dict(
+        cls,
+        universe: Iterable[Any],
+        relations: Mapping[str, Iterable[Tup]],
+        arities: Optional[Mapping[str, int]] = None,
+    ) -> "Database":
+        """Build a database from ``{name: tuples}``.
+
+        Arities are inferred from the first tuple of each relation unless
+        given explicitly (required for empty relations).
+        """
+        rels = []
+        for name, tuples in relations.items():
+            tuples = [tuple(t) for t in tuples]
+            if arities is not None and name in arities:
+                arity = arities[name]
+            elif tuples:
+                arity = len(tuples[0])
+            else:
+                raise ValueError(
+                    "cannot infer arity of empty relation %r; pass arities=" % name
+                )
+            rels.append(Relation(name, arity, tuples))
+        return cls(universe, rels)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def relations(self) -> Mapping[str, Relation]:
+        """Read-only view of the relation map."""
+        return dict(self._relations)
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """All relation names, sorted for determinism."""
+        return tuple(sorted(self._relations))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError("no relation named %r in database" % name) from None
+
+    def get(self, name: str, default: Optional[Relation] = None) -> Optional[Relation]:
+        """Return the relation called ``name`` or ``default``."""
+        return self._relations.get(name, default)
+
+    def arity_of(self, name: str) -> int:
+        """Arity of the named relation."""
+        return self[name].arity
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self.universe == other.universe and self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash((self.universe, frozenset(self._relations.items())))
+
+    def __repr__(self) -> str:
+        rels = ", ".join(
+            "%s/%d:%d" % (r.name, r.arity, len(r))
+            for r in (self._relations[n] for n in self.relation_names())
+        )
+        return "Database(|A|=%d, %s)" % (len(self.universe), rels)
+
+    # ------------------------------------------------------------------
+    # Functional updates
+    # ------------------------------------------------------------------
+
+    def with_relation(self, rel: Relation) -> "Database":
+        """Return a copy with ``rel`` added or replaced (same universe)."""
+        new = dict(self._relations)
+        new[rel.name] = rel
+        return Database(self.universe, new.values(), check=False)
+
+    def with_relations(self, rels: Iterable[Relation]) -> "Database":
+        """Return a copy with every relation in ``rels`` added/replaced."""
+        new = dict(self._relations)
+        for rel in rels:
+            new[rel.name] = rel
+        return Database(self.universe, new.values(), check=False)
+
+    def without(self, *names: str) -> "Database":
+        """Return a copy with the named relations removed."""
+        new = {k: v for k, v in self._relations.items() if k not in names}
+        return Database(self.universe, new.values(), check=False)
+
+    def restrict(self, names: Iterable[str]) -> "Database":
+        """Return a copy keeping only the named relations."""
+        keep = set(names)
+        new = {k: v for k, v in self._relations.items() if k in keep}
+        return Database(self.universe, new.values(), check=False)
+
+    def active_domain(self) -> frozenset:
+        """Elements that actually occur in some relation tuple."""
+        seen = set()
+        for rel in self._relations.values():
+            for t in rel:
+                seen.update(t)
+        return frozenset(seen)

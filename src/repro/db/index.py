@@ -1,0 +1,49 @@
+"""Hash indexes over relations, used by the join operators."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .relation import Relation, Tup
+
+
+class HashIndex:
+    """An index mapping key-column values to the tuples carrying them.
+
+    Parameters
+    ----------
+    relation:
+        The relation to index.
+    columns:
+        The 0-based key columns, in key order.
+    """
+
+    __slots__ = ("columns", "_buckets")
+
+    def __init__(self, relation: Relation, columns: Sequence[int]) -> None:
+        for c in columns:
+            if not 0 <= c < relation.arity:
+                raise IndexError(
+                    "column %d out of range for %s/%d"
+                    % (c, relation.name, relation.arity)
+                )
+        self.columns = tuple(columns)
+        buckets: Dict[Tuple, List[Tup]] = {}
+        for t in relation:
+            key = tuple(t[c] for c in self.columns)
+            buckets.setdefault(key, []).append(t)
+        self._buckets = buckets
+
+    def lookup(self, key: Tuple) -> List[Tup]:
+        """All indexed tuples whose key columns equal ``key``."""
+        return self._buckets.get(tuple(key), [])
+
+    def keys(self):
+        """The distinct key values present in the index."""
+        return self._buckets.keys()
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._buckets.values())
+
+    def __contains__(self, key: Tuple) -> bool:
+        return tuple(key) in self._buckets

@@ -1,0 +1,165 @@
+"""Finite relations: the values DATALOG¬ programs map between.
+
+A :class:`Relation` is an immutable finite set of equal-length tuples over an
+arbitrary hashable value domain, together with a name and an arity.  Relations
+are the carriers of both database (EDB) and nondatabase (IDB) predicates in
+the paper's Section 2 formalism: the operator Theta of a program maps
+sequences of relations to sequences of relations of the same arities.
+
+Relations compare by *value* (name, arity and tuple set), so a fixpoint check
+``theta(s) == s`` is a plain equality test.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Tuple
+
+Tup = Tuple[Any, ...]
+
+
+class Relation:
+    """An immutable named finite relation of fixed arity.
+
+    Parameters
+    ----------
+    name:
+        The relational symbol, e.g. ``"E"``.
+    arity:
+        Number of columns.  Zero-ary relations are allowed (they behave as
+        booleans: either empty or containing the empty tuple).
+    tuples:
+        Iterable of tuples, each of length ``arity``.
+
+    Raises
+    ------
+    ValueError
+        If some tuple's length differs from ``arity``.
+    """
+
+    __slots__ = ("name", "arity", "_tuples", "_hash")
+
+    def __init__(self, name: str, arity: int, tuples: Iterable[Tup] = ()) -> None:
+        if arity < 0:
+            raise ValueError("arity must be non-negative, got %d" % arity)
+        frozen = frozenset(tuple(t) for t in tuples)
+        for t in frozen:
+            if len(t) != arity:
+                raise ValueError(
+                    "tuple %r has length %d, expected arity %d for relation %s"
+                    % (t, len(t), arity, name)
+                )
+        self.name = name
+        self.arity = arity
+        self._tuples = frozen
+        self._hash = hash((name, arity, frozen))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, name: str, arity: int) -> "Relation":
+        """Return the empty relation with the given signature."""
+        return cls(name, arity, ())
+
+    @classmethod
+    def full(cls, name: str, arity: int, universe: Iterable[Any]) -> "Relation":
+        """Return the full relation ``universe ** arity``.
+
+        This is the relation ``A^n`` used by the paper's toggle gadget
+        ("Q must be equal to A^n or else T would not be a fixpoint").
+        """
+        from itertools import product
+
+        return cls(name, arity, product(tuple(universe), repeat=arity))
+
+    # ------------------------------------------------------------------
+    # Set-like protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def tuples(self) -> frozenset:
+        """The underlying frozenset of tuples."""
+        return self._tuples
+
+    def __contains__(self, item: Tup) -> bool:
+        return tuple(item) in self._tuples
+
+    def __iter__(self) -> Iterator[Tup]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __bool__(self) -> bool:
+        return bool(self._tuples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.arity == other.arity
+            and self._tuples == other._tuples
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        shown = sorted(self._tuples, key=repr)[:8]
+        suffix = ", ..." if len(self._tuples) > 8 else ""
+        inner = ", ".join(repr(t) for t in shown)
+        return "Relation(%s/%d, {%s%s})" % (self.name, self.arity, inner, suffix)
+
+    # ------------------------------------------------------------------
+    # Value operations (all return new relations, preserving the name)
+    # ------------------------------------------------------------------
+
+    def with_name(self, name: str) -> "Relation":
+        """Return the same relation under a different symbol."""
+        return Relation(name, self.arity, self._tuples)
+
+    def with_tuples(self, tuples: Iterable[Tup]) -> "Relation":
+        """Return a relation with this signature but the given tuples."""
+        return Relation(self.name, self.arity, tuples)
+
+    def add(self, *tuples: Tup) -> "Relation":
+        """Return this relation extended with the given tuples."""
+        return Relation(self.name, self.arity, self._tuples.union(tuples))
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union; the operand must have the same arity."""
+        self._check_compatible(other, "union")
+        return Relation(self.name, self.arity, self._tuples | other._tuples)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        """Set intersection; the operand must have the same arity."""
+        self._check_compatible(other, "intersection")
+        return Relation(self.name, self.arity, self._tuples & other._tuples)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference; the operand must have the same arity."""
+        self._check_compatible(other, "difference")
+        return Relation(self.name, self.arity, self._tuples - other._tuples)
+
+    def complement(self, universe: Iterable[Any]) -> "Relation":
+        """Return ``universe**arity`` minus this relation."""
+        full = Relation.full(self.name, self.arity, universe)
+        return full.difference(self)
+
+    def issubset(self, other: "Relation") -> bool:
+        """True when every tuple of this relation is in ``other``."""
+        self._check_compatible(other, "issubset")
+        return self._tuples <= other._tuples
+
+    def filter(self, predicate: Callable[[Tup], bool]) -> "Relation":
+        """Return the sub-relation of tuples satisfying ``predicate``."""
+        return Relation(self.name, self.arity, (t for t in self._tuples if predicate(t)))
+
+    def _check_compatible(self, other: "Relation", op: str) -> None:
+        if self.arity != other.arity:
+            raise ValueError(
+                "%s between arity %d (%s) and arity %d (%s)"
+                % (op, self.arity, self.name, other.arity, other.name)
+            )

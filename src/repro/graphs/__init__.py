@@ -1,0 +1,6 @@
+"""Graph substrate: a tiny digraph type, generators, exact algorithms."""
+
+from .digraph import Digraph
+from .encode import database_to_graph, graph_to_database
+
+__all__ = ["Digraph", "database_to_graph", "graph_to_database"]

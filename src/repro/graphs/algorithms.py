@@ -1,0 +1,182 @@
+"""Exact graph algorithms used as ground truth in tests and experiments.
+
+Everything here is deliberately simple and obviously correct — BFS, brute
+force, backtracking — because these answers validate the Datalog engines
+and the SAT-backed fixpoint analysis (e.g. ``#fixpoints of pi_COL ==
+#proper 3-colorings``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import permutations
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .digraph import Digraph
+
+INFINITY = float("inf")
+
+
+def bfs_distances(graph: Digraph, source: Any) -> Dict[Any, int]:
+    """Shortest path lengths (#edges, >= 1) from ``source``.
+
+    Follows the paper's transitive-closure convention: a node reaches
+    itself only through an actual cycle, so ``source`` appears in the
+    result only if it lies on one.
+    """
+    succ: Dict[Any, List[Any]] = {}
+    for u, v in graph.edges:
+        succ.setdefault(u, []).append(v)
+    dist: Dict[Any, int] = {}
+    queue = deque((v, 1) for v in succ.get(source, ()))
+    while queue:
+        node, d = queue.popleft()
+        if node in dist:
+            continue
+        dist[node] = d
+        for nxt in succ.get(node, ()):
+            if nxt not in dist:
+                queue.append((nxt, d + 1))
+    return dist
+
+
+def distance(graph: Digraph, u: Any, v: Any) -> float:
+    """Shortest path length from ``u`` to ``v`` (>= 1), or ``inf``."""
+    return bfs_distances(graph, u).get(v, INFINITY)
+
+
+def transitive_closure(graph: Digraph) -> FrozenSet[Tuple[Any, Any]]:
+    """All pairs ``(u, v)`` with a path of length >= 1 from ``u`` to ``v``."""
+    out: Set[Tuple[Any, Any]] = set()
+    for u in graph.nodes:
+        for v in bfs_distances(graph, u):
+            out.add((u, v))
+    return frozenset(out)
+
+
+def distance_query(graph: Digraph) -> FrozenSet[Tuple[Any, Any, Any, Any]]:
+    """The paper's distance query ``D(x, y, x*, y*)`` (Proposition 2).
+
+    *"Is there a path from x to y that is shorter than or equal to any path
+    from x* to y*?"* — yes whenever ``dist(x, y) <= dist(x*, y*)``, with
+    the understanding that the answer is yes when x reaches y but x* does
+    not reach y*.
+    """
+    dist: Dict[Any, Dict[Any, int]] = {
+        u: bfs_distances(graph, u) for u in graph.nodes
+    }
+    nodes = sorted(graph.nodes, key=repr)
+    out = set()
+    for x in nodes:
+        for y in nodes:
+            dxy = dist[x].get(y, INFINITY)
+            if dxy is INFINITY:
+                continue
+            for xs in nodes:
+                for ys in nodes:
+                    if dxy <= dist[xs].get(ys, INFINITY):
+                        out.add((x, y, xs, ys))
+    return frozenset(out)
+
+
+# ----------------------------------------------------------------------
+# 3-coloring (ground truth for pi_COL / Lemma 1)
+# ----------------------------------------------------------------------
+
+
+def enumerate_3colorings(graph: Digraph) -> List[Dict[Any, str]]:
+    """All proper 3-colorings (colors ``"R" | "B" | "G"``), by backtracking.
+
+    Proper: no *undirected* edge joins two nodes of the same color, every
+    node gets exactly one color — matching the constraints the rules of
+    ``pi_COL`` enforce.
+    """
+    nodes = sorted(graph.nodes, key=repr)
+    adjacency: Dict[Any, Set[Any]] = {n: set() for n in nodes}
+    for pair in graph.undirected_edges():
+        u, v = tuple(pair)
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+
+    colorings: List[Dict[Any, str]] = []
+    assignment: Dict[Any, str] = {}
+
+    def backtrack(i: int) -> None:
+        if i == len(nodes):
+            colorings.append(dict(assignment))
+            return
+        node = nodes[i]
+        for color in ("R", "B", "G"):
+            if any(assignment.get(nb) == color for nb in adjacency[node]):
+                continue
+            assignment[node] = color
+            backtrack(i + 1)
+            del assignment[node]
+
+    backtrack(0)
+    return colorings
+
+
+def count_3colorings(graph: Digraph) -> int:
+    """Number of proper 3-colorings (counting color labels as distinct)."""
+    return len(enumerate_3colorings(graph))
+
+
+def is_3colorable(graph: Digraph) -> bool:
+    """Whether any proper 3-coloring exists."""
+    nodes = sorted(graph.nodes, key=repr)
+    adjacency: Dict[Any, Set[Any]] = {n: set() for n in nodes}
+    for pair in graph.undirected_edges():
+        u, v = tuple(pair)
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+
+    assignment: Dict[Any, str] = {}
+
+    def backtrack(i: int) -> bool:
+        if i == len(nodes):
+            return True
+        node = nodes[i]
+        for color in ("R", "B", "G"):
+            if any(assignment.get(nb) == color for nb in adjacency[node]):
+                continue
+            assignment[node] = color
+            if backtrack(i + 1):
+                return True
+            del assignment[node]
+        return False
+
+    return backtrack(0)
+
+
+# ----------------------------------------------------------------------
+# Hamilton circuits (the paper's "typical member of US")
+# ----------------------------------------------------------------------
+
+
+def hamilton_circuits(graph: Digraph) -> List[Tuple[Any, ...]]:
+    """All directed Hamilton circuits, canonicalised to start at the
+    smallest node (so each circuit is counted once)."""
+    nodes = sorted(graph.nodes, key=repr)
+    if not nodes:
+        return []
+    if len(nodes) == 1:
+        start = nodes[0]
+        return [(start,)] if (start, start) in graph.edges else []
+    start = nodes[0]
+    rest = nodes[1:]
+    circuits = []
+    for perm in permutations(rest):
+        tour = (start,) + perm
+        ok = all(
+            (tour[i], tour[(i + 1) % len(tour)]) in graph.edges
+            for i in range(len(tour))
+        )
+        if ok:
+            circuits.append(tour)
+    return circuits
+
+
+def has_unique_hamilton_circuit(graph: Digraph) -> bool:
+    """Exactly one Hamilton circuit — the paper's example of a US problem."""
+    return len(hamilton_circuits(graph)) == 1

@@ -1,0 +1,59 @@
+"""A minimal directed-graph value type used by generators and encodings.
+
+The paper's examples live on directed graphs (paths ``L_n``, cycles ``C_n``,
+disjoint unions ``G_n``); this class is deliberately tiny — generators build
+them, :mod:`repro.graphs.encode` turns them into databases with a binary
+``E`` relation, and :mod:`repro.graphs.algorithms` provides the exact
+solvers used as ground truth in experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, Tuple
+
+Edge = Tuple[Any, Any]
+
+
+class Digraph:
+    """An immutable directed graph (loops allowed, no multi-edges)."""
+
+    __slots__ = ("nodes", "edges")
+
+    def __init__(self, nodes: Iterable[Any], edges: Iterable[Edge] = ()) -> None:
+        self.nodes: FrozenSet[Any] = frozenset(nodes)
+        edge_set = frozenset((u, v) for u, v in edges)
+        for u, v in edge_set:
+            if u not in self.nodes or v not in self.nodes:
+                raise ValueError("edge (%r, %r) uses an unknown node" % (u, v))
+        self.edges: FrozenSet[Edge] = edge_set
+
+    def successors(self, node: Any) -> FrozenSet[Any]:
+        """Out-neighbours of ``node``."""
+        return frozenset(v for u, v in self.edges if u == node)
+
+    def predecessors(self, node: Any) -> FrozenSet[Any]:
+        """In-neighbours of ``node``."""
+        return frozenset(u for u, v in self.edges if v == node)
+
+    def reversed(self) -> "Digraph":
+        """The graph with every edge flipped."""
+        return Digraph(self.nodes, ((v, u) for u, v in self.edges))
+
+    def undirected_edges(self) -> FrozenSet[FrozenSet]:
+        """Edges as unordered pairs (for coloring problems)."""
+        return frozenset(frozenset((u, v)) for u, v in self.edges if u != v)
+
+    def union(self, other: "Digraph") -> "Digraph":
+        """Disjoint-union-friendly union (node sets may overlap)."""
+        return Digraph(self.nodes | other.nodes, self.edges | other.edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Digraph):
+            return NotImplemented
+        return self.nodes == other.nodes and self.edges == other.edges
+
+    def __hash__(self) -> int:
+        return hash((self.nodes, self.edges))
+
+    def __repr__(self) -> str:
+        return "Digraph(|V|=%d, |E|=%d)" % (len(self.nodes), len(self.edges))

@@ -1,0 +1,29 @@
+"""Graph <-> database conversions (the ``E`` binary relation)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..db.database import Database
+from ..db.relation import Relation
+from .digraph import Digraph
+
+EDGE_RELATION = "E"
+
+
+def graph_to_database(graph: Digraph, edge_name: str = EDGE_RELATION) -> Database:
+    """A database whose universe is the node set with one binary relation.
+
+    Isolated nodes stay in the universe even though they appear in no
+    tuple — the paper's semantics quantifies over the whole universe, so
+    this distinction matters (e.g. for ``T(x) :- !T(y)``).
+    """
+    return Database(graph.nodes, [Relation(edge_name, 2, graph.edges)])
+
+
+def database_to_graph(db: Database, edge_name: str = EDGE_RELATION) -> Digraph:
+    """Rebuild a digraph from a database's edge relation."""
+    rel = db[edge_name]
+    if rel.arity != 2:
+        raise ValueError("relation %s has arity %d, expected 2" % (edge_name, rel.arity))
+    return Digraph(db.universe, rel.tuples)

@@ -1,0 +1,59 @@
+"""Logic substrate: FO model checking, ESO, Skolem NF, FO+IFP, EF games."""
+
+from .ef import ef_equivalent
+from .eso import ESOFormula, count_witnesses, eso_holds, witnesses
+from .fo import (
+    AtomF,
+    And,
+    Bottom,
+    EqF,
+    Exists,
+    ForAll,
+    Formula,
+    IFP,
+    Not,
+    Or,
+    Top,
+    and_,
+    evaluate,
+    exists_all,
+    forall_all,
+    free_variables,
+    iff,
+    implies,
+    or_,
+    query,
+)
+from .ifp import simultaneous_ifp
+from .skolem import SkolemNormalForm, skolemize
+
+__all__ = [
+    "And",
+    "AtomF",
+    "Bottom",
+    "ESOFormula",
+    "EqF",
+    "Exists",
+    "ForAll",
+    "Formula",
+    "IFP",
+    "Not",
+    "Or",
+    "SkolemNormalForm",
+    "Top",
+    "and_",
+    "count_witnesses",
+    "ef_equivalent",
+    "eso_holds",
+    "evaluate",
+    "exists_all",
+    "forall_all",
+    "free_variables",
+    "iff",
+    "implies",
+    "or_",
+    "query",
+    "simultaneous_ifp",
+    "skolemize",
+    "witnesses",
+]

@@ -1,0 +1,116 @@
+"""Ehrenfeucht–Fraïssé games: rank-r elementary equivalence.
+
+Used by experiment E8 to back the paper's inexpressibility statements: the
+transitive-closure (and hence distance) query is not first-order definable
+(the paper cites [AU79]).  Two finite structures satisfy the same FO
+sentences of quantifier rank ``r`` iff Duplicator wins the ``r``-round EF
+game; the classic corollary is that long enough linear orders/paths are
+rank-``r`` equivalent even when their reachability facts differ, so no
+fixed FO sentence defines reachability on all graphs.
+
+The recursive win-checker below is exponential in ``r`` — fine for the
+small ranks the experiments use — and memoised on game positions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..db.database import Database
+
+Position = Tuple[Tuple, Tuple]
+
+
+def _is_partial_isomorphism(
+    left: Database, right: Database, la: Tuple, ra: Tuple
+) -> bool:
+    """Do the pinned tuples induce a partial isomorphism?
+
+    Checks the equality pattern and every relation of the (shared)
+    vocabulary on all argument tuples drawn from the pinned elements.
+    """
+    n = len(la)
+    for i in range(n):
+        for j in range(n):
+            if (la[i] == la[j]) != (ra[i] == ra[j]):
+                return False
+    names = set(left.relation_names()) | set(right.relation_names())
+    for name in names:
+        lrel = left.get(name)
+        rrel = right.get(name)
+        arity = lrel.arity if lrel is not None else rrel.arity
+        if lrel is not None and rrel is not None and lrel.arity != rrel.arity:
+            raise ValueError("relation %s has mismatched arities" % name)
+        if n == 0:
+            continue
+
+        def tuples(indexes: List[int], base: Tuple) -> Tuple:
+            return tuple(base[i] for i in indexes)
+
+        # Enumerate index vectors over the pinned positions.
+        stack: List[List[int]] = [[]]
+        for _ in range(arity):
+            stack = [s + [i] for s in stack for i in range(n)]
+        for indexes in stack:
+            lt = tuples(indexes, la)
+            rt = tuples(indexes, ra)
+            in_l = lrel is not None and lt in lrel
+            in_r = rrel is not None and rt in rrel
+            if in_l != in_r:
+                return False
+    return True
+
+
+def ef_equivalent(
+    left: Database,
+    right: Database,
+    rank: int,
+    pinned_left: Tuple = (),
+    pinned_right: Tuple = (),
+    _memo: Optional[Dict[Tuple[int, Position], bool]] = None,
+) -> bool:
+    """Does Duplicator win the ``rank``-round EF game?
+
+    ``True`` means the two structures (with the pinned parameters) agree on
+    every FO formula of quantifier rank at most ``rank``.
+    """
+    memo = _memo if _memo is not None else {}
+    key = (rank, (tuple(pinned_left), tuple(pinned_right)))
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+
+    if not _is_partial_isomorphism(left, right, tuple(pinned_left), tuple(pinned_right)):
+        memo[key] = False
+        return False
+    if rank == 0:
+        memo[key] = True
+        return True
+
+    lu = sorted(left.universe, key=repr)
+    ru = sorted(right.universe, key=repr)
+
+    # Spoiler plays in the left structure.
+    for a in lu:
+        if not any(
+            ef_equivalent(
+                left, right, rank - 1,
+                tuple(pinned_left) + (a,), tuple(pinned_right) + (b,), memo,
+            )
+            for b in ru
+        ):
+            memo[key] = False
+            return False
+    # Spoiler plays in the right structure.
+    for b in ru:
+        if not any(
+            ef_equivalent(
+                left, right, rank - 1,
+                tuple(pinned_left) + (a,), tuple(pinned_right) + (b,), memo,
+            )
+            for a in lu
+        ):
+            memo[key] = False
+            return False
+    memo[key] = True
+    return True

@@ -1,0 +1,101 @@
+"""Existential second-order formulas and Fagin's theorem, small scale.
+
+*"An existential second-order formula Psi over the vocabulary sigma is an
+expression of the form exists-S phi(S) ... Fagin's theorem: a collection C
+of finite databases over sigma is in NP if and only if it is definable by
+an existential second-order formula over sigma."*
+
+We cannot iterate over Turing machines, but on laptop-scale databases we
+*can* decide ESO satisfaction by brute force over all candidate relations —
+which is precisely the "guess" in NP's guess-and-verify.  That brute-force
+check is the ground truth against which the Theorem 1 compiler
+(:mod:`repro.reductions.fagin`) is validated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..db.database import Database
+from ..db.relation import Relation
+from .fo import Formula, evaluate, free_variables
+
+
+@dataclass(frozen=True)
+class ESOFormula:
+    """``exists S_1 ... S_m . matrix`` with ``matrix`` first-order.
+
+    ``so_signature`` lists the quantified relation symbols with their
+    arities; the matrix may mention both the database vocabulary and the
+    quantified symbols.
+    """
+
+    so_signature: Tuple[Tuple[str, int], ...]
+    matrix: Formula
+
+    def __post_init__(self) -> None:
+        if free_variables(self.matrix):
+            raise ValueError(
+                "an ESO sentence may not have free first-order variables: %s"
+                % sorted(v.name for v in free_variables(self.matrix))
+            )
+        names = [name for name, _ in self.so_signature]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate second-order variable names")
+
+
+class ESOSearchLimit(RuntimeError):
+    """The witness space is too large for brute-force search."""
+
+
+def _witness_space_size(db: Database, signature: Sequence[Tuple[str, int]]) -> int:
+    n = len(db.universe)
+    total = 1
+    for _, arity in signature:
+        total *= 2 ** (n ** arity)
+    return total
+
+
+def witnesses(
+    eso: ESOFormula, db: Database, limit: int = 2 ** 22
+) -> Iterator[Dict[str, Relation]]:
+    """Yield every second-order witness ``{name: Relation}`` for ``eso``.
+
+    Raises
+    ------
+    ESOSearchLimit
+        When the number of candidate relation tuples exceeds ``limit``.
+    """
+    space = _witness_space_size(db, eso.so_signature)
+    if space > limit:
+        raise ESOSearchLimit(
+            "witness space has %d candidates (> %d); use a smaller database"
+            % (space, limit)
+        )
+    universe = sorted(db.universe, key=repr)
+    per_symbol: List[List[Relation]] = []
+    for name, arity in eso.so_signature:
+        all_tuples = list(product(universe, repeat=arity))
+        candidates = []
+        for size in range(len(all_tuples) + 1):
+            for chosen in combinations(all_tuples, size):
+                candidates.append(Relation(name, arity, chosen))
+        per_symbol.append(candidates)
+    for combo in product(*per_symbol):
+        extended = db.with_relations(combo)
+        if evaluate(eso.matrix, extended):
+            yield {rel.name: rel for rel in combo}
+
+
+def eso_holds(eso: ESOFormula, db: Database, limit: int = 2 ** 22) -> bool:
+    """Brute-force ESO model checking: does some witness exist?"""
+    for _ in witnesses(eso, db, limit):
+        return True
+    return False
+
+
+def count_witnesses(eso: ESOFormula, db: Database, limit: int = 2 ** 22) -> int:
+    """Number of second-order witnesses (used by the uniqueness tests)."""
+    return sum(1 for _ in witnesses(eso, db, limit))

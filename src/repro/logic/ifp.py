@@ -1,0 +1,96 @@
+"""FO + IFP utilities: simultaneous induction and query evaluation.
+
+Section 4: *"Gurevich and Shelah studied the expressive power of the logic
+FO + IFP (first-order + inductive fixpoint) on finite structures"*; the
+paper's Proposition 1 identifies Inflationary DATALOG with the existential
+fragment of FO + IFP.  Single IFP applications live in
+:class:`repro.logic.fo.IFP`; this module adds the *simultaneous* induction
+needed for programs with several nondatabase relations ("the inflationary
+semantics is defined in a similar way by simultaneous induction in the
+defining equations").
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.terms import Variable
+from ..db.database import Database
+from ..db.relation import Relation
+from .fo import Binding, Formula, evaluate
+
+
+def simultaneous_ifp(
+    db: Database,
+    definitions: Dict[str, Tuple[Sequence[Variable], Formula]],
+    binding: Optional[Binding] = None,
+    max_rounds: Optional[int] = None,
+) -> Dict[str, Relation]:
+    """Inductive fixpoint of a system ``S_i := S_i u {a : phi_i(a, S)}``.
+
+    ``definitions`` maps each inductively defined predicate to its bound
+    variable tuple and body formula; bodies may mention every defined
+    predicate with any polarity.  Returns the stabilised relations.
+    """
+    env = binding or {}
+    universe = sorted(db.universe, key=repr)
+    current: Dict[str, Set[Tuple]] = {name: set() for name in definitions}
+    arities = {name: len(vars) for name, (vars, _) in definitions.items()}
+    bound = sum(len(universe) ** a for a in arities.values()) + 1
+    limit = bound if max_rounds is None else max_rounds
+
+    for _ in range(limit):
+        shadow = db.with_relations(
+            Relation(name, arities[name], tuples) for name, tuples in current.items()
+        )
+        added = False
+        new: Dict[str, Set[Tuple]] = {}
+        for name, (vars, body) in definitions.items():
+            gained: Set[Tuple] = set()
+            for values in product(universe, repeat=arities[name]):
+                if values in current[name]:
+                    continue
+                extended = dict(env)
+                extended.update(zip(vars, values))
+                if evaluate(body, shadow, extended):
+                    gained.add(values)
+            new[name] = gained
+            added = added or bool(gained)
+        if not added:
+            return {
+                name: Relation(name, arities[name], tuples)
+                for name, tuples in current.items()
+            }
+        for name in current:
+            current[name] |= new[name]
+    raise AssertionError("simultaneous IFP exceeded its theoretical bound")
+
+
+def ifp_stage_count(
+    db: Database,
+    definitions: Dict[str, Tuple[Sequence[Variable], Formula]],
+) -> int:
+    """Number of rounds until the simultaneous induction stabilises."""
+    env: Binding = {}
+    universe = sorted(db.universe, key=repr)
+    current: Dict[str, Set[Tuple]] = {name: set() for name in definitions}
+    arities = {name: len(vars) for name, (vars, _) in definitions.items()}
+    rounds = 0
+    while True:
+        shadow = db.with_relations(
+            Relation(name, arities[name], tuples) for name, tuples in current.items()
+        )
+        added = False
+        for name, (vars, body) in definitions.items():
+            for values in product(universe, repeat=arities[name]):
+                if values in current[name]:
+                    continue
+                extended = dict(env)
+                extended.update(zip(vars, values))
+                if evaluate(body, shadow, extended):
+                    current[name].add(values)
+                    added = True
+        if not added:
+            return rounds
+        rounds += 1

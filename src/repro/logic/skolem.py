@@ -1,0 +1,142 @@
+"""Skolem normal form for existential second-order formulas (Theorem 1).
+
+*"Every existential second-order formula is equivalent to one of the form
+(exists S)(forall x)(exists y)(theta_1 v ... v theta_k), where the theta_i
+are conjunctions of literals ...  It is established by first bringing the
+first-order part in prenex normal form and then applying repeatedly the
+equivalence*
+
+    (forall u)(exists v) chi(u, v)   <=>
+    (exists X){ (forall u)(forall v)[X(u, v) -> chi(u, v)]
+                and (forall u)(exists v) X(u, v) }
+
+*In effect, this transformation 'Skolemizes' the first-order part ...
+instead of function symbols we encode functions by their graphs."*
+
+The implementation follows the proof literally: prenex the matrix, then —
+while some existential still precedes a universal — take the leading
+universal block ``u``, the first existential ``v``, introduce a fresh graph
+relation ``X(u, v)``, convert ``exists v`` into ``forall v`` guarded by
+``X``, and append a totality conjunct ``forall u' exists v' X(u', v')``
+whose universals are inserted *before* the remaining prefix (keeping
+already-trailing existentials trailing, which guarantees termination).
+Finally the matrix is put in DNF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.terms import Variable
+from .eso import ESOFormula
+from .fo import (
+    AtomF,
+    Formula,
+    FreshVars,
+    Lit,
+    Not,
+    and_,
+    matrix_to_dnf,
+    or_,
+    to_prenex,
+)
+
+
+@dataclass(frozen=True)
+class SkolemNormalForm:
+    """``exists SO-relations  forall universals  exists existentials  DNF``.
+
+    ``so_signature`` lists *all* second-order symbols: the original ones
+    followed by the introduced Skolem-graph relations.
+    """
+
+    so_signature: Tuple[Tuple[str, int], ...]
+    universals: Tuple[Variable, ...]
+    existentials: Tuple[Variable, ...]
+    disjuncts: Tuple[Tuple[Lit, ...], ...]
+
+    def matrix_formula(self) -> Formula:
+        """The DNF matrix rebuilt as a formula (for model checking)."""
+        out = []
+        for disjunct in self.disjuncts:
+            lits = [atom if sign else Not(atom) for sign, atom in disjunct]
+            out.append(and_(*lits))
+        return or_(*out)
+
+    def to_eso(self) -> ESOFormula:
+        """Rebuild the whole sentence as an :class:`ESOFormula`."""
+        from .fo import exists_all, forall_all
+
+        body = exists_all(
+            list(self.existentials), self.matrix_formula()
+        )
+        body = forall_all(list(self.universals), body)
+        return ESOFormula(self.so_signature, body)
+
+
+def skolemize(
+    eso: ESOFormula, graph_prefix: str = "SK", fresh: Optional[FreshVars] = None
+) -> SkolemNormalForm:
+    """Transform an ESO sentence into Skolem normal form.
+
+    ``graph_prefix`` names the introduced Skolem-graph relations
+    (``SK1``, ``SK2``, ...); the prefix must not collide with existing
+    predicate names — callers supplying custom matrices should pick a safe
+    prefix.
+    """
+    fresh = fresh or FreshVars("_sk")
+    prefix, matrix = to_prenex(eso.matrix)
+    so_signature: List[Tuple[str, int]] = list(eso.so_signature)
+    graph_count = 0
+
+    def first_offender(p: List[Tuple[str, Variable]]) -> Optional[int]:
+        """Index of the first 'exists' with a 'forall' somewhere after."""
+        last_forall = -1
+        for i in range(len(p) - 1, -1, -1):
+            if p[i][0] == "forall":
+                last_forall = i
+                break
+        if last_forall < 0:
+            return None
+        for i in range(last_forall):
+            if p[i][0] == "exists":
+                return i
+        return None
+
+    while True:
+        offender = first_offender(prefix)
+        if offender is None:
+            break
+        leading = [var for _, var in prefix[:offender]]  # all universal
+        v = prefix[offender][1]
+        rest = prefix[offender + 1:]
+
+        graph_count += 1
+        graph_name = "%s%d" % (graph_prefix, graph_count)
+        so_signature.append((graph_name, len(leading) + 1))
+
+        guard_args = leading + [v]
+        # Totality conjunct with disjoint fresh variables.
+        fresh_universals = [fresh.next() for _ in leading]
+        fresh_existential = fresh.next()
+        totality_atom = AtomF(graph_name, fresh_universals + [fresh_existential])
+
+        matrix = and_(or_(Not(AtomF(graph_name, guard_args)), matrix), totality_atom)
+        prefix = (
+            prefix[:offender]
+            + [("forall", v)]
+            + [("forall", u) for u in fresh_universals]
+            + rest
+            + [("exists", fresh_existential)]
+        )
+
+    universals = tuple(var for kind, var in prefix if kind == "forall")
+    existentials = tuple(var for kind, var in prefix if kind == "exists")
+    disjuncts = tuple(tuple(d) for d in matrix_to_dnf(matrix))
+    return SkolemNormalForm(
+        so_signature=tuple(so_signature),
+        universals=universals,
+        existentials=existentials,
+        disjuncts=disjuncts,
+    )

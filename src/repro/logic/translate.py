@@ -1,0 +1,212 @@
+"""Proposition 1: Inflationary DATALOG  <->  existential FO + IFP.
+
+*"A query is expressible in Inflationary DATALOG if and only if it is
+expressible in FO + IFP using operators definable by existential
+first-order formulas."*
+
+Both directions are implemented:
+
+* :func:`theta_formula` — the existential first-order formula defining the
+  operator Theta of a program for one IDB predicate (Section 2's
+  ``phi_i(x_i, S)``).
+* :func:`program_to_ifp_definitions` / :func:`program_to_ifp` — a program
+  as a (simultaneous) inductive-fixpoint system / a single IFP formula.
+* :func:`existential_fo_to_program` — an existential first-order operator
+  back into DATALOG¬ rules ("obtained by bringing the existential formula
+  phi in disjunctive normal form and associating a DATALOG¬ rule with
+  every disjunct").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.literals import Atom, Eq, Negation, Neq
+from ..core.program import Program
+from ..core.rules import Rule
+from ..core.terms import Constant, Variable
+from .fo import (
+    AtomF,
+    EqF,
+    Exists,
+    Formula,
+    FreshVars,
+    IFP,
+    Lit,
+    Not,
+    and_,
+    exists_all,
+    free_variables,
+    matrix_to_dnf,
+    or_,
+    rename_apart,
+    to_nnf,
+    to_prenex,
+)
+
+
+def _literal_to_formula(lit) -> Formula:
+    """Convert a rule body literal into an FO formula."""
+    if isinstance(lit, Atom):
+        return AtomF(lit.pred, lit.args)
+    if isinstance(lit, Negation):
+        return Not(AtomF(lit.atom.pred, lit.atom.args))
+    if isinstance(lit, Eq):
+        return EqF(lit.left, lit.right)
+    if isinstance(lit, Neq):
+        return Not(EqF(lit.left, lit.right))
+    raise TypeError("not a literal: %r" % (lit,))
+
+
+def theta_formula(
+    program: Program, pred: str, head_vars: Sequence[Variable]
+) -> Formula:
+    """The existential FO formula ``phi_pred(head_vars, S)`` defining Theta.
+
+    For each rule ``pred(t) :- body`` the contribution is
+    ``exists (rule vars) [ head_vars = t  and  body ]``; the formula is the
+    disjunction over the rules for ``pred``.  This is exactly Section 2's
+    observation that Theta "is definable using existential first-order
+    formulas".
+    """
+    head_vars = list(head_vars)
+    if len(head_vars) != program.arity(pred):
+        raise ValueError(
+            "predicate %s has arity %d, got %d head variables"
+            % (pred, program.arity(pred), len(head_vars))
+        )
+    fresh = FreshVars("_t")
+    disjuncts: List[Formula] = []
+    for rule in program.rules_for(pred):
+        renaming = {v: fresh.next() for v in rule.variables()}
+        equalities: List[Formula] = []
+        for hv, arg in zip(head_vars, rule.head.args):
+            if isinstance(arg, Constant):
+                equalities.append(EqF(hv, arg))
+            else:
+                equalities.append(EqF(hv, renaming[arg]))
+        body: List[Formula] = []
+        for lit in rule.body:
+            formula = _literal_to_formula(lit)
+            mapping = {v: renaming[v] for v in renaming}
+            from .fo import substitute_term
+
+            body.append(substitute_term(formula, mapping))
+        conjunction = and_(*(equalities + body))
+        disjuncts.append(
+            exists_all(sorted(renaming.values(), key=lambda v: v.name), conjunction)
+        )
+    return or_(*disjuncts)
+
+
+def fixpoint_formula(program: Program) -> Formula:
+    """Section 3's ``phi_pi(S)``: the first-order fixpoint condition.
+
+    *"Let phi_pi(S) be the first-order formula
+    AND_i (forall x_i)[S_i(x_i) <-> phi_i(x_i, S)].  This formula has the
+    property that S is a fixpoint of (pi, D)  <=>  D |= phi_pi(S)."*
+
+    Evaluating it on ``db.with_relations(candidate IDB values)`` decides
+    fixpointhood; wrapping it in second-order quantifiers gives the ESO
+    forms used for pi-UNIQUE-FIXPOINT (Theorem 2's discussion) and the
+    FO(NP) membership argument (Theorem 3's proof).
+    """
+    from .fo import forall_all, iff
+
+    conjuncts: List[Formula] = []
+    for pred in sorted(program.idb_predicates):
+        head_vars = [
+            Variable("_fp%s_%d" % (pred, i)) for i in range(program.arity(pred))
+        ]
+        body = theta_formula(program, pred, head_vars)
+        conjuncts.append(
+            forall_all(head_vars, iff(AtomF(pred, head_vars), body))
+        )
+    return and_(*conjuncts)
+
+
+def program_to_ifp_definitions(
+    program: Program,
+) -> Dict[str, Tuple[Tuple[Variable, ...], Formula]]:
+    """The program as a simultaneous-IFP system ``{pred: (vars, phi)}``.
+
+    Feeding this to :func:`repro.logic.ifp.simultaneous_ifp` computes the
+    same relations as the inflationary engine (property-tested).
+    """
+    out: Dict[str, Tuple[Tuple[Variable, ...], Formula]] = {}
+    for pred in sorted(program.idb_predicates):
+        head_vars = tuple(
+            Variable("_x%s_%d" % (pred, i)) for i in range(program.arity(pred))
+        )
+        out[pred] = (head_vars, theta_formula(program, pred, head_vars))
+    return out
+
+
+def program_to_ifp(program: Program, args: Sequence) -> IFP:
+    """A single-IDB program as one FO + IFP formula applied to ``args``.
+
+    Raises
+    ------
+    ValueError
+        For programs with several IDB predicates (use
+        :func:`program_to_ifp_definitions` and simultaneous induction).
+    """
+    preds = sorted(program.idb_predicates)
+    if len(preds) != 1:
+        raise ValueError(
+            "single-IFP translation needs exactly one IDB predicate, got %s"
+            % (preds,)
+        )
+    pred = preds[0]
+    head_vars = tuple(
+        Variable("_x%s_%d" % (pred, i)) for i in range(program.arity(pred))
+    )
+    return IFP(pred, head_vars, theta_formula(program, pred, head_vars), args)
+
+
+def existential_fo_to_program(
+    formula: Formula, head_pred: str, head_vars: Sequence[Variable]
+) -> Program:
+    """Compile an existential FO operator into a DATALOG¬ program.
+
+    ``formula`` defines one inflationary step for ``head_pred`` over the
+    free variables ``head_vars``; it may use negation on atoms and
+    equalities but no universal quantifier (after NNF).  Each DNF disjunct
+    of the prenexed matrix becomes one rule.
+
+    Raises
+    ------
+    ValueError
+        If the prenex form contains a universal quantifier, or the formula
+        has free variables outside ``head_vars``.
+    """
+    head_vars = list(head_vars)
+    extra = free_variables(formula) - set(head_vars)
+    if extra:
+        raise ValueError(
+            "formula has free variables %s beyond the head"
+            % sorted(v.name for v in extra)
+        )
+    prefix, matrix = to_prenex(formula)
+    if any(kind == "forall" for kind, _ in prefix):
+        raise ValueError("formula is not existential: universal quantifier found")
+    rules: List[Rule] = []
+    for disjunct in matrix_to_dnf(matrix):
+        body = []
+        for sign, atom in disjunct:
+            if isinstance(atom, AtomF):
+                core_atom = Atom(atom.pred, atom.args)
+                body.append(core_atom if sign else Negation(core_atom))
+            else:  # EqF
+                if sign:
+                    body.append(Eq(atom.left, atom.right))
+                else:
+                    body.append(Neq(atom.left, atom.right))
+        rules.append(Rule(Atom(head_pred, head_vars), body))
+    if not rules:
+        # The formula is unsatisfiable; emit a rule that can never fire.
+        dummy = Variable("_never")
+        rules.append(
+            Rule(Atom(head_pred, head_vars), (Neq(dummy, dummy),))
+        )
+    return Program(rules, carrier=head_pred)

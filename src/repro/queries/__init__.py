@@ -1,0 +1,29 @@
+"""Canonical programs from the paper."""
+
+from .library import (
+    distance_program,
+    guarded_toggle_program,
+    pi1,
+    pi2,
+    pi3,
+    reachable_from_source_program,
+    same_generation_program,
+    tc_complement_stratified,
+    toggle_program,
+    transitive_closure_program,
+    win_move_program,
+)
+
+__all__ = [
+    "distance_program",
+    "guarded_toggle_program",
+    "pi1",
+    "pi2",
+    "pi3",
+    "reachable_from_source_program",
+    "same_generation_program",
+    "tc_complement_stratified",
+    "toggle_program",
+    "transitive_closure_program",
+    "win_move_program",
+]

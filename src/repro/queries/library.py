@@ -1,0 +1,160 @@
+"""The canonical programs of the paper, ready to run.
+
+Every program that appears in the paper's text is constructed here, with
+the paper's own names:
+
+* ``pi1``  — ``T(x) :- E(y, x), !T(y)`` (Section 2's running example; read
+  over reversed edges it is the classic win–move game).
+* ``pi2``  — the two-relation program with ``S1`` (transitive closure) and
+  ``S2`` (pairs in/out of ``S1``).
+* ``pi3`` / ``transitive_closure_program`` — the DATALOG program for TC.
+* ``toggle_program`` — ``T(z) :- !T(w)``, the gadget with no fixpoint.
+* ``distance_program`` — Proposition 2's six-rule program whose carrier
+  computes the distance query under inflationary semantics.
+* ``tc_complement_stratified`` — the stratified program for
+  ``TC(x, y) and not TC(x*, y*)`` (what Proposition 2's program means
+  *stratified*).
+* ``win_move_program`` — ``WIN(x) :- E(x, y), !WIN(y)``.
+* ``same_generation_program`` — a second classic recursive DATALOG query.
+"""
+
+from __future__ import annotations
+
+from ..core.parser import parse_program
+from ..core.program import Program
+
+
+def pi1() -> Program:
+    """Section 2: ``T(x) :- E(y, x), !T(y)``.
+
+    On the path ``L_n`` it has the unique fixpoint ``{2, 4, ...}``; on odd
+    cycles no fixpoint; on even cycles exactly two incomparable fixpoints;
+    on ``G_n`` (n disjoint even cycles) ``2**n`` fixpoints and no least one.
+    """
+    return parse_program("T(X) :- E(Y, X), !T(Y).")
+
+
+def pi2() -> Program:
+    """Section 2's second example, with carrier ``S2``:
+
+    ``S1`` is the transitive closure; ``S2`` collects quadruples
+    ``(a, b, c, d)`` with ``S1(a, b)`` and ``not S1(c, d)``.
+    """
+    return parse_program(
+        """
+        S1(X, Y) :- E(X, Y).
+        S1(X, Y) :- E(X, Z), S1(Z, Y).
+        S2(X, Y, Z, W) :- S1(X, Y), !S1(Z, W).
+        """,
+        carrier="S2",
+    )
+
+
+def transitive_closure_program(idb: str = "S") -> Program:
+    """The paper's ``pi3``: pure DATALOG transitive closure."""
+    return parse_program(
+        """
+        {S}(X, Y) :- E(X, Y).
+        {S}(X, Y) :- E(X, Z), {S}(Z, Y).
+        """.format(S=idb)
+    )
+
+
+def pi3() -> Program:
+    """Alias for :func:`transitive_closure_program` under the paper's name."""
+    return transitive_closure_program()
+
+
+def toggle_program() -> Program:
+    """``T(z) :- !T(w)`` — "makes T toggle and in particular has no
+    fixpoint" (proof of Theorem 1) on any non-empty universe."""
+    return parse_program("T(Z) :- !T(W).")
+
+
+def guarded_toggle_program() -> Program:
+    """``T(z) :- !Q(u), !T(w)`` plus ``Q(x) :- Q(x)``.
+
+    The Theorem 1 gadget in isolation: has a fixpoint (with ``T`` empty)
+    exactly when ``Q`` is the full unary relation.
+    """
+    return parse_program(
+        """
+        Q(X) :- Q(X).
+        T(Z) :- !Q(U), !T(W).
+        """,
+        carrier="T",
+    )
+
+
+def distance_program() -> Program:
+    """Proposition 2's program; carrier ``S3`` computes the distance query
+    under *inflationary* semantics:
+
+        S1(x,y)        <- E(x,y)
+        S1(x,y)        <- E(x,z), S1(z,y)
+        S2(x*,y*)      <- E(x*,y*)
+        S2(x*,y*)      <- E(x*,z*), S2(z*,y*)
+        S3(x,y,x*,y*)  <- E(x,y), not S2(x*,y*)
+        S3(x,y,x*,y*)  <- E(x,z), S1(z,y), not S2(x*,y*)
+
+    Read as a *stratified* program instead, the same rules compute
+    ``{(x,y,x*,y*) : TC(x,y) and not TC(x*,y*)}`` — the paper's
+    demonstration that the two semantics differ.
+    """
+    return parse_program(
+        """
+        S1(X, Y) :- E(X, Y).
+        S1(X, Y) :- E(X, Z), S1(Z, Y).
+        S2(Xs, Ys) :- E(Xs, Ys).
+        S2(Xs, Ys) :- E(Xs, Zs), S2(Zs, Ys).
+        S3(X, Y, Xs, Ys) :- E(X, Y), !S2(Xs, Ys).
+        S3(X, Y, Xs, Ys) :- E(X, Z), S1(Z, Y), !S2(Xs, Ys).
+        """,
+        carrier="S3",
+    )
+
+
+def tc_complement_stratified() -> Program:
+    """A stratified program for ``not TC`` (complement of reachability).
+
+    Witnesses ``DATALOG subsetneq Stratified``: its query is not monotone,
+    hence expressible by no negation-free DATALOG program.
+    """
+    return parse_program(
+        """
+        TC(X, Y) :- E(X, Y).
+        TC(X, Y) :- E(X, Z), TC(Z, Y).
+        NOTC(X, Y) :- !TC(X, Y).
+        """,
+        carrier="NOTC",
+    )
+
+
+def win_move_program() -> Program:
+    """The win–move game: ``WIN(x) :- E(x, y), !WIN(y)``.
+
+    A position is winning if some move leads to a losing position.  This is
+    ``pi1`` over reversed edges; its fixpoints/well-founded model exhibit
+    exactly the paper's path/cycle phenomenology.
+    """
+    return parse_program("WIN(X) :- E(X, Y), !WIN(Y).")
+
+
+def same_generation_program() -> Program:
+    """Classic same-generation over a parent relation ``P`` (DATALOG)."""
+    return parse_program(
+        """
+        SG(X, Y) :- P(Z, X), P(Z, Y).
+        SG(X, Y) :- P(U, X), SG(U, V), P(V, Y).
+        """
+    )
+
+
+def reachable_from_source_program() -> Program:
+    """Single-source reachability from nodes marked ``Src`` (DATALOG)."""
+    return parse_program(
+        """
+        REACH(X) :- Src(X).
+        REACH(Y) :- REACH(X), E(X, Y).
+        """
+    )

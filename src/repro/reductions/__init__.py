@@ -1,0 +1,19 @@
+"""The paper's reductions: pi_SAT, pi_COL, pi_SC, and the Fagin compiler."""
+
+from .coloring import pi_col
+from .fagin import FaginCompilation, eso_to_program
+from .sat_encoding import cnf_to_database, database_to_cnf, pi_sat
+from .sat_to_coloring import sat_to_coloring
+from .succinct_coloring import binary_database, pi_sc
+
+__all__ = [
+    "FaginCompilation",
+    "binary_database",
+    "cnf_to_database",
+    "database_to_cnf",
+    "eso_to_program",
+    "pi_col",
+    "pi_sat",
+    "pi_sc",
+    "sat_to_coloring",
+]

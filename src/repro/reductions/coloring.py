@@ -1,0 +1,81 @@
+"""Lemma 1: 3-COLORING as fixpoint existence (``pi_COL``).
+
+The paper's eleven-rule program over an edge relation ``E``:
+
+    R(x) :- R(x).          B(x) :- B(x).          G(x) :- G(x).
+    P(x) :- E(x, y), R(x), R(y).
+    P(x) :- E(x, y), B(x), B(y).
+    P(x) :- E(x, y), G(x), G(y).
+    P(x) :- G(x), B(x).    P(x) :- B(x), R(x).    P(x) :- R(x), G(x).
+    P(x) :- !R(x), !B(x), !G(x).
+    T(z) :- P(x), !T(w).
+
+*"Program pi_COL has a fixpoint on E if and only if E represents a
+3-colorable graph"* — and, more finely, the fixpoints are in one-to-one
+correspondence with the proper 3-colorings (``R``, ``B``, ``G`` partition
+the nodes with no monochromatic edge, forcing ``P`` — the penalty relation
+— empty, which pacifies the toggle rule).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..core.operator import IDBMap
+from ..core.parser import parse_program
+from ..core.program import Program
+from ..db.database import Database
+from ..db.relation import Relation
+from ..graphs.digraph import Digraph
+from ..graphs.encode import graph_to_database
+
+COLORS = ("R", "B", "G")
+
+
+def pi_col() -> Program:
+    """The paper's ``pi_COL`` (proof of Theorem 4, Lemma 1)."""
+    return parse_program(
+        """
+        R(X) :- R(X).
+        B(X) :- B(X).
+        G(X) :- G(X).
+        P(X) :- E(X, Y), R(X), R(Y).
+        P(X) :- E(X, Y), B(X), B(Y).
+        P(X) :- E(X, Y), G(X), G(Y).
+        P(X) :- G(X), B(X).
+        P(X) :- B(X), R(X).
+        P(X) :- R(X), G(X).
+        P(X) :- !R(X), !B(X), !G(X).
+        T(Z) :- P(X), !T(W).
+        """,
+        carrier="P",
+    )
+
+
+def coloring_database(graph: Digraph) -> Database:
+    """The input database: just the edge relation over the node universe."""
+    return graph_to_database(graph)
+
+
+def coloring_to_fixpoint(graph: Digraph, coloring: Dict[Any, str]) -> IDBMap:
+    """The fixpoint of ``(pi_COL, E)`` induced by a proper 3-coloring."""
+    tuples: Dict[str, list] = {c: [] for c in COLORS}
+    for node, color in coloring.items():
+        if color not in COLORS:
+            raise ValueError("unknown color %r for node %r" % (color, node))
+        tuples[color].append((node,))
+    idb: IDBMap = {c: Relation(c, 1, tuples[c]) for c in COLORS}
+    idb["P"] = Relation.empty("P", 1)
+    idb["T"] = Relation.empty("T", 1)
+    return idb
+
+
+def fixpoint_to_coloring(fixpoint: IDBMap) -> Dict[Any, str]:
+    """Read the proper 3-coloring back out of a fixpoint."""
+    coloring: Dict[Any, str] = {}
+    for color in COLORS:
+        for (node,) in fixpoint[color]:
+            if node in coloring:
+                raise ValueError("node %r carries two colors" % (node,))
+            coloring[node] = color
+    return coloring

@@ -1,0 +1,125 @@
+"""Theorem 1: the generic NP-to-DATALOG¬ compiler.
+
+*"For any NP computable collection C of finite databases over sigma there
+is a DATALOG¬ program pi_C such that a database D is in C if and only if
+(pi_C, D) has a fixpoint."*
+
+Pipeline (the proof, verbatim):
+
+1. ``C`` arrives as an existential second-order sentence (Fagin's theorem);
+2. the first-order part is brought to Skolem normal form
+   ``(exists S)(forall x)(exists y)(theta_1 v ... v theta_k)``
+   (:mod:`repro.logic.skolem`);
+3. the program ``pi_C`` is emitted:
+
+       S_j(w_j)  :-  S_j(w_j)          (make the S_j nondatabase relations)
+       Q(x)      :-  theta_i(x, y)     (one rule per disjunct)
+       T(z)      :-  !Q(u), !T(w)      (the toggle gadget)
+
+   so that a fixpoint exists iff ``Q`` can be the full relation ``A^n``,
+   iff ``(forall x)(exists y) (theta_1 v ... v theta_k)`` has a witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.literals import Atom, Eq, Negation, Neq
+from ..core.program import Program
+from ..core.rules import Rule
+from ..core.terms import Variable
+from ..logic.eso import ESOFormula
+from ..logic.fo import AtomF, EqF, Lit
+from ..logic.skolem import SkolemNormalForm, skolemize
+
+
+@dataclass(frozen=True)
+class FaginCompilation:
+    """The compiler's output: the program plus its bookkeeping.
+
+    Attributes
+    ----------
+    program:
+        The DATALOG¬ program ``pi_C``.
+    snf:
+        The Skolem normal form the rules were read off from.
+    q_pred, t_pred:
+        The names chosen for the ``Q`` and toggle predicates.
+    """
+
+    program: Program
+    snf: SkolemNormalForm
+    q_pred: str
+    t_pred: str
+
+
+def _fresh_pred(base: str, taken: set) -> str:
+    name = base
+    while name in taken:
+        name += "_"
+    taken.add(name)
+    return name
+
+
+def _literal_to_rule_literal(lit: Lit):
+    sign, atom = lit
+    if isinstance(atom, AtomF):
+        core = Atom(atom.pred, atom.args)
+        return core if sign else Negation(core)
+    if isinstance(atom, EqF):
+        return Eq(atom.left, atom.right) if sign else Neq(atom.left, atom.right)
+    raise TypeError("unexpected literal payload: %r" % (atom,))
+
+
+def eso_to_program(eso: ESOFormula, graph_prefix: str = "SK") -> FaginCompilation:
+    """Compile an ESO sentence into the Theorem 1 program ``pi_C``.
+
+    The resulting program's EDB vocabulary is the sentence's first-order
+    vocabulary; a database ``D`` then satisfies the sentence iff
+    ``(pi_C, D)`` has a fixpoint (tested against brute-force ESO checking).
+    """
+    snf = skolemize(eso, graph_prefix=graph_prefix)
+
+    taken = set()
+    for name, _ in snf.so_signature:
+        taken.add(name)
+    for disjunct in snf.disjuncts:
+        for _, atom in disjunct:
+            if isinstance(atom, AtomF):
+                taken.add(atom.pred)
+    q_pred = _fresh_pred("Q", taken)
+    t_pred = _fresh_pred("T", taken)
+
+    rules: List[Rule] = []
+    # "The sole purpose of the first m rules is to make the relational
+    #  symbols of S into nondatabase relations."
+    for name, arity in snf.so_signature:
+        vars = [Variable("W%d" % i) for i in range(1, arity + 1)]
+        rules.append(Rule(Atom(name, vars), (Atom(name, vars),)))
+
+    # Q rules: one per disjunct.  When there are no universal variables we
+    # give Q a dummy head variable ranging over the whole universe, so that
+    # "Q = A" still expresses "the matrix holds".
+    if snf.universals:
+        q_args: Tuple[Variable, ...] = snf.universals
+    else:
+        q_args = (Variable("U0"),)
+    for disjunct in snf.disjuncts:
+        body = tuple(_literal_to_rule_literal(lit) for lit in disjunct)
+        rules.append(Rule(Atom(q_pred, q_args), body))
+
+    # The toggle gadget: T(z) :- !Q(u...), !T(w).
+    toggle_head = Atom(t_pred, (Variable("Z0"),))
+    q_neg_args = [Variable("U%d" % i) for i in range(1, len(q_args) + 1)]
+    rules.append(
+        Rule(
+            toggle_head,
+            (
+                Negation(Atom(q_pred, q_neg_args)),
+                Negation(Atom(t_pred, (Variable("W0"),))),
+            ),
+        )
+    )
+    program = Program(rules, carrier=q_pred)
+    return FaginCompilation(program=program, snf=snf, q_pred=q_pred, t_pred=t_pred)

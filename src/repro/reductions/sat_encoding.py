@@ -1,0 +1,131 @@
+"""Example 1: SATISFIABILITY as fixpoint existence (``pi_SAT``).
+
+The paper fixes the vocabulary ``sigma = (V/1, P/2, N/2)`` and encodes a
+CNF instance ``I`` as the database ``D(I)``: the universe is the union of
+variables and clauses; ``V`` marks variables; ``P(c, v)`` / ``N(c, v)``
+record positive/negative occurrences of ``v`` in clause ``c``.  The program
+
+    S(x) :- S(x).
+    Q(x) :- V(x).
+    Q(x) :- !S(x), P(x, y), S(y).
+    Q(x) :- !S(x), N(x, y), !S(y).
+    T(z) :- !Q(u), !T(w).
+
+has its fixpoints on ``D(I)`` in one-to-one correspondence with the
+satisfying assignments of ``I``; in particular a fixpoint exists iff ``I``
+is satisfiable (Theorem 1) and the fixpoint is unique iff the satisfying
+assignment is (Theorem 2).
+
+Universe elements are tagged strings (``"v:x1"``, ``"c:3"``) so that
+variable and clause names can never collide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from ..core.operator import IDBMap
+from ..core.parser import parse_program
+from ..core.program import Program
+from ..db.database import Database
+from ..db.relation import Relation
+from ..workloads.cnf_gen import CNFInstance
+
+_VAR_PREFIX = "v:"
+_CLAUSE_PREFIX = "c:"
+
+
+def pi_sat() -> Program:
+    """The paper's ``pi_SAT`` (Example 1), carrier ``S``."""
+    return parse_program(
+        """
+        S(X) :- S(X).
+        Q(X) :- V(X).
+        Q(X) :- !S(X), P(X, Y), S(Y).
+        Q(X) :- !S(X), N(X, Y), !S(Y).
+        T(Z) :- !Q(U), !T(W).
+        """,
+        carrier="S",
+    )
+
+
+def variable_element(name: str) -> str:
+    """The universe element standing for CNF variable ``name``."""
+    return _VAR_PREFIX + name
+
+
+def clause_element(index: int) -> str:
+    """The universe element standing for the ``index``-th clause (0-based)."""
+    return _CLAUSE_PREFIX + str(index)
+
+
+def cnf_to_database(instance: CNFInstance) -> Database:
+    """The paper's ``D(I)`` encoding of a CNF instance."""
+    var_elems = {v: variable_element(v) for v in instance.variables}
+    clause_elems = [clause_element(i) for i in range(instance.num_clauses)]
+    universe = set(var_elems.values()) | set(clause_elems)
+    v_rel = Relation("V", 1, [(e,) for e in var_elems.values()])
+    p_tuples = []
+    n_tuples = []
+    for i, clause in enumerate(instance.clauses):
+        for var, positive in clause:
+            entry = (clause_elems[i], var_elems[var])
+            if positive:
+                p_tuples.append(entry)
+            else:
+                n_tuples.append(entry)
+    return Database(
+        universe,
+        [v_rel, Relation("P", 2, p_tuples), Relation("N", 2, n_tuples)],
+    )
+
+
+def database_to_cnf(db: Database) -> CNFInstance:
+    """The inverse mapping ``I(D)`` for databases over ``(V, P, N)``.
+
+    *"every database D = (A, V, P, N) in the class gives rise to a unique
+    instance I(D) of SATISFIABILITY with variables V and clauses A - V."*
+    """
+    var_elems = sorted(t[0] for t in db["V"])
+    clause_elems = sorted(db.universe - set(var_elems), key=repr)
+    strip = {
+        e: (e[len(_VAR_PREFIX):] if isinstance(e, str) and e.startswith(_VAR_PREFIX) else str(e))
+        for e in var_elems
+    }
+    clause_index = {c: i for i, c in enumerate(clause_elems)}
+    clauses: Dict[int, list] = {i: [] for i in clause_index.values()}
+    for c, v in db["P"]:
+        clauses[clause_index[c]].append((strip[v], True))
+    for c, v in db["N"]:
+        clauses[clause_index[c]].append((strip[v], False))
+    return CNFInstance(
+        tuple(strip[e] for e in var_elems),
+        tuple(tuple(clauses[i]) for i in sorted(clauses)),
+    )
+
+
+def assignment_to_fixpoint(
+    instance: CNFInstance, assignment: Dict[str, bool], db: Optional[Database] = None
+) -> IDBMap:
+    """The fixpoint of ``(pi_SAT, D(I))`` induced by a satisfying assignment.
+
+    ``S`` holds the true variables, ``Q`` is the full unary relation, and
+    ``T`` is empty — exactly the witness structure in Theorem 1's proof.
+    """
+    database = db if db is not None else cnf_to_database(instance)
+    s_tuples = [
+        (variable_element(v),) for v in instance.variables if assignment[v]
+    ]
+    return {
+        "S": Relation("S", 1, s_tuples),
+        "Q": Relation.full("Q", 1, database.universe),
+        "T": Relation.empty("T", 1),
+    }
+
+
+def fixpoint_to_assignment(instance: CNFInstance, fixpoint: IDBMap) -> Dict[str, bool]:
+    """Read the satisfying assignment back out of a fixpoint's ``S``."""
+    in_s: Set[str] = {t[0] for t in fixpoint["S"]}
+    return {
+        v: variable_element(v) in in_s for v in instance.variables
+    }

@@ -1,0 +1,101 @@
+"""The classic 3SAT -> 3-COLORING reduction (Garey–Johnson–Stockmeyer).
+
+Lemma 2 of the paper rests on the fact that *"the reduction from 3SAT to
+3-COLORING in [GJS76] is indeed a projection"*, which lifts NP-hardness to
+NEXP-hardness for the succinct version.  We implement the standard
+gadget-based reduction so the pipeline 3SAT -> 3COL -> pi_COL fixpoints can
+be exercised end to end.
+
+Construction (colors play the roles TRUE / FALSE / BASE):
+
+* a triangle on special nodes ``T`` (true), ``F`` (false), ``B`` (base);
+* per variable ``v`` a triangle ``v — not-v — B``, so ``v`` and ``not-v``
+  take the two truth colors;
+* per clause an OR-gadget of three stacked "or" triangles whose output
+  node is joined to both ``F`` and ``B``, forcing some literal of the
+  clause to be colored TRUE.
+
+The instance is satisfiable iff the produced graph is 3-colorable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..graphs.digraph import Digraph
+from ..workloads.cnf_gen import CNFInstance
+
+TRUE_NODE = "#T"
+FALSE_NODE = "#F"
+BASE_NODE = "#B"
+
+
+def _literal_node(var: str, positive: bool) -> str:
+    return ("+%s" if positive else "-%s") % var
+
+
+def _or_gadget(
+    edges: List[Tuple[str, str]], left: str, right: str, tag: str
+) -> str:
+    """Append an OR gadget; returns its output node.
+
+    The output can be colored TRUE iff ``left`` or ``right`` is TRUE
+    (standard 3SAT->3COL triangle gadget).
+    """
+    a, b, out = tag + ".a", tag + ".b", tag + ".o"
+    edges.extend(
+        [(left, a), (right, b), (a, b), (a, out), (b, out)]
+    )
+    return out
+
+
+def sat_to_coloring(instance: CNFInstance) -> Digraph:
+    """Build the GJS76-style graph for a CNF instance (clauses of size <= 3).
+
+    Raises
+    ------
+    ValueError
+        If some clause has more than three literals (reduce first) or is
+        empty (trivially unsatisfiable — no graph gadget models it).
+    """
+    undirected: List[Tuple[str, str]] = [
+        (TRUE_NODE, FALSE_NODE),
+        (FALSE_NODE, BASE_NODE),
+        (BASE_NODE, TRUE_NODE),
+    ]
+    for var in instance.variables:
+        pos, neg = _literal_node(var, True), _literal_node(var, False)
+        undirected.extend([(pos, neg), (pos, BASE_NODE), (neg, BASE_NODE)])
+
+    for index, clause in enumerate(instance.clauses):
+        if not clause:
+            raise ValueError("clause %d is empty" % index)
+        if len(clause) > 3:
+            raise ValueError(
+                "clause %d has %d literals; 3SAT expects at most 3"
+                % (index, len(clause))
+            )
+        literal_nodes = [_literal_node(v, p) for v, p in clause]
+        while len(literal_nodes) < 3:
+            literal_nodes.append(literal_nodes[-1])
+        tag = "c%d" % index
+        out1 = _or_gadget(undirected, literal_nodes[0], literal_nodes[1], tag + ".1")
+        out2 = _or_gadget(undirected, out1, literal_nodes[2], tag + ".2")
+        undirected.extend([(out2, FALSE_NODE), (out2, BASE_NODE)])
+
+    nodes = {u for e in undirected for u in e}
+    edges = [(u, v) for u, v in undirected] + [(v, u) for u, v in undirected]
+    return Digraph(nodes, edges)
+
+
+def decode_coloring(
+    instance: CNFInstance, coloring: Dict[str, str]
+) -> Dict[str, bool]:
+    """Extract the truth assignment from a proper coloring of the gadget
+    graph: a variable is true iff its positive literal node shares the
+    color of the TRUE anchor."""
+    true_color = coloring[TRUE_NODE]
+    return {
+        var: coloring[_literal_node(var, True)] == true_color
+        for var in instance.variables
+    }

@@ -1,0 +1,138 @@
+"""Theorem 4: the circuit-to-program compiler ``pi_SC``.
+
+*"For each gate g_i = (a_i, b_i, c_i) of the circuit we shall have a new
+nondatabase relation G_i(x, y), where x and y are n-tuples of variables.
+The intention is that G_i(x, y) will contain all 2n-tuples of bits that
+make g_i output 1."*
+
+Gate rules (over the fixed universe ``{0, 1}``):
+
+* AND:  ``G_i(x, y) :- G_b(x, y), G_c(x, y).``
+* OR :  ``G_i(x, y) :- G_b(x, y).``  and  ``G_i(x, y) :- G_c(x, y).``
+* NOT:  ``G_i(x, y) :- !G_b(x, y).``
+* IN (j-th input): ``G_i(z_1, ..., z_{j-1}, 1, z_{j+1}, ..., z_{2n}) :- .``
+  — a bodyless rule whose free variables range over the whole domain,
+  pinning position ``j`` to 1.
+
+The output gate's relation is identified with the edge relation ``E`` of
+``pi_COL`` (whose color relations become n-ary), giving the program
+``pi_SC`` with *no* database relations at all: ``pi_SC`` has a fixpoint iff
+the circuit-presented graph is 3-colorable.  In every fixpoint the ``G_i``
+are forced to be exactly the gates' truth tables.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuits.circuit import AND, IN, NOT, OR
+from ..circuits.succinct import SuccinctGraph
+from ..core.literals import Atom, Negation
+from ..core.program import Program
+from ..core.rules import Rule
+from ..core.terms import Constant, Variable
+from ..db.database import Database
+
+BINARY_UNIVERSE = frozenset((0, 1))
+
+
+def gate_relation(index: int) -> str:
+    """Name of the IDB relation carrying gate ``index``'s truth table."""
+    return "G%d" % index
+
+
+def _tuple_vars(prefix: str, count: int) -> List[Variable]:
+    return [Variable("%s%d" % (prefix, i)) for i in range(1, count + 1)]
+
+
+def gate_rules(succinct: SuccinctGraph) -> List[Rule]:
+    """The rules defining ``G_1 .. G_k`` from the circuit's gates."""
+    width = 2 * succinct.address_bits
+    rules: List[Rule] = []
+    zs = _tuple_vars("Z", width)
+    next_input = 0
+    for i, gate in enumerate(succinct.circuit.gates, start=1):
+        head_pred = gate_relation(i)
+        if gate.kind == IN:
+            position = next_input  # 0-based input slot this IN gate reads
+            next_input += 1
+            head_args = list(zs)
+            head_args[position] = Constant(1)
+            rules.append(Rule(Atom(head_pred, head_args), ()))
+        elif gate.kind == AND:
+            rules.append(
+                Rule(
+                    Atom(head_pred, zs),
+                    (Atom(gate_relation(gate.b), zs), Atom(gate_relation(gate.c), zs)),
+                )
+            )
+        elif gate.kind == OR:
+            rules.append(
+                Rule(Atom(head_pred, zs), (Atom(gate_relation(gate.b), zs),))
+            )
+            rules.append(
+                Rule(Atom(head_pred, zs), (Atom(gate_relation(gate.c), zs),))
+            )
+        else:  # NOT
+            rules.append(
+                Rule(
+                    Atom(head_pred, zs),
+                    (Negation(Atom(gate_relation(gate.b), zs)),),
+                )
+            )
+    return rules
+
+
+def coloring_rules(succinct: SuccinctGraph) -> List[Rule]:
+    """``pi_COL`` lifted to n-tuple nodes, with ``E`` = the output gate.
+
+    ``R``, ``B``, ``G``, ``P`` become n-ary; the toggle predicate ``T``
+    stays unary over the binary domain.
+    """
+    n = succinct.address_bits
+    edge = gate_relation(succinct.circuit.output_gate)
+    xs = _tuple_vars("X", n)
+    ys = _tuple_vars("Y", n)
+    rules: List[Rule] = []
+    for color in ("R", "B", "G"):
+        rules.append(Rule(Atom(color, xs), (Atom(color, xs),)))
+    for color in ("R", "B", "G"):
+        rules.append(
+            Rule(
+                Atom("P", xs),
+                (Atom(edge, xs + ys), Atom(color, xs), Atom(color, ys)),
+            )
+        )
+    for first, second in (("G", "B"), ("B", "R"), ("R", "G")):
+        rules.append(Rule(Atom("P", xs), (Atom(first, xs), Atom(second, xs))))
+    rules.append(
+        Rule(
+            Atom("P", xs),
+            (
+                Negation(Atom("R", xs)),
+                Negation(Atom("B", xs)),
+                Negation(Atom("G", xs)),
+            ),
+        )
+    )
+    rules.append(
+        Rule(
+            Atom("T", (Variable("Zt"),)),
+            (Atom("P", xs), Negation(Atom("T", (Variable("Wt"),)))),
+        )
+    )
+    return rules
+
+
+def pi_sc(succinct: SuccinctGraph) -> Program:
+    """The full Theorem 4 program for one succinct graph."""
+    return Program(gate_rules(succinct) + coloring_rules(succinct), carrier="P")
+
+
+def binary_database() -> Database:
+    """The fixed input: universe ``{0, 1}`` and no relations.
+
+    The paper: *"the program has no database relations, but we have fixed
+    the domain of all variables to be {0, 1}"*.
+    """
+    return Database(BINARY_UNIVERSE, [])

@@ -1,0 +1,25 @@
+"""SAT substrate: CNF, Tseitin helpers, DPLL solver, counting, DIMACS."""
+
+from .cnf import CNF, VarPool
+from .counting import (
+    EnumerationLimitExceeded,
+    count_models,
+    enumerate_models,
+    forced_literals,
+    has_model,
+    unique_model,
+)
+from .solver import Solver, solve
+
+__all__ = [
+    "CNF",
+    "EnumerationLimitExceeded",
+    "Solver",
+    "VarPool",
+    "count_models",
+    "enumerate_models",
+    "forced_literals",
+    "has_model",
+    "solve",
+    "unique_model",
+]

@@ -1,0 +1,123 @@
+"""Model enumeration, counting, and uniqueness checks.
+
+These are the operations the paper's complexity results call for:
+
+* existence of a model            — NP          (Theorem 1's target class)
+* uniqueness of a model           — US          (Theorem 2's target class)
+* per-atom forced-value queries   — the FO(NP) routine behind Theorem 3.
+
+Enumeration uses blocking clauses over a chosen variable subset.  When the
+subset functionally determines the remaining variables (as with Tseitin
+auxiliaries), projected enumeration is exact model enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from .cnf import CNF
+from .solver import Model, Solver
+
+
+class EnumerationLimitExceeded(RuntimeError):
+    """More models exist than the caller allowed."""
+
+
+def enumerate_models(
+    cnf: CNF,
+    over_vars: Optional[Sequence[int]] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Dict[int, bool]]:
+    """Yield models projected onto ``over_vars`` (default: all variables).
+
+    Each yielded dict maps the projection variables to booleans; distinct
+    projections are enumerated via blocking clauses.
+
+    Raises
+    ------
+    EnumerationLimitExceeded
+        After yielding ``limit`` models, if another exists.
+    """
+    solver = Solver(cnf)
+    variables = (
+        list(over_vars) if over_vars is not None else list(range(1, cnf.num_vars + 1))
+    )
+    produced = 0
+    while True:
+        model = solver.solve()
+        if model is None:
+            return
+        if limit is not None and produced >= limit:
+            raise EnumerationLimitExceeded(
+                "more than %d models exist" % limit
+            )
+        projection = {v: model[v] for v in variables}
+        yield projection
+        produced += 1
+        if not variables:
+            return  # a 0-variable projection has at most one class
+        solver.add_clause(
+            tuple(-v if projection[v] else v for v in variables)
+        )
+
+
+def count_models(
+    cnf: CNF,
+    over_vars: Optional[Sequence[int]] = None,
+    limit: Optional[int] = None,
+) -> int:
+    """Number of (projected) models; raises past ``limit`` when given."""
+    return sum(1 for _ in enumerate_models(cnf, over_vars, limit))
+
+
+def has_model(cnf: CNF) -> bool:
+    """Plain satisfiability."""
+    return Solver(cnf).solve() is not None
+
+
+def unique_model(
+    cnf: CNF, over_vars: Optional[Sequence[int]] = None
+) -> Optional[Dict[int, bool]]:
+    """The unique (projected) model if exactly one exists, else ``None``.
+
+    This is the US-style check of Theorem 2: satisfiable with a *unique*
+    witness.  Costs at most two solver calls.
+    """
+    solver = Solver(cnf)
+    first = solver.solve()
+    if first is None:
+        return None
+    variables = (
+        list(over_vars) if over_vars is not None else list(range(1, cnf.num_vars + 1))
+    )
+    projection = {v: first[v] for v in variables}
+    if variables:
+        solver.add_clause(tuple(-v if projection[v] else v for v in variables))
+        if solver.solve() is not None:
+            return None
+    return projection
+
+
+def forced_literals(cnf: CNF, over_vars: Sequence[int]) -> Dict[int, Optional[bool]]:
+    """For each variable, the value it takes in *every* model, if any.
+
+    Returns ``{var: True | False | None}`` (``None`` = not forced).  This
+    is the backbone-style query sequence used by the Theorem 3 least-
+    fixpoint procedure: polynomially many NP-oracle calls.
+
+    Raises
+    ------
+    ValueError
+        When the formula is unsatisfiable (no model to be forced in).
+    """
+    solver = Solver(cnf)
+    base = solver.solve()
+    if base is None:
+        raise ValueError("formula is unsatisfiable; forced values undefined")
+    out: Dict[int, Optional[bool]] = {}
+    for v in over_vars:
+        witness = base[v]
+        # Can the opposite value be realised?
+        flipped = solver.solve(assumptions=(-v if witness else v,))
+        out[v] = witness if flipped is None else None
+    return out

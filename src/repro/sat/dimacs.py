@@ -1,0 +1,66 @@
+"""DIMACS CNF reading and writing (for interoperability and debugging)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from .cnf import CNF
+
+PathLike = Union[str, Path]
+
+
+def dumps(cnf: CNF, comment: str = "") -> str:
+    """Serialise to DIMACS text."""
+    lines = []
+    if comment:
+        for part in comment.splitlines():
+            lines.append("c %s" % part)
+    lines.append("p cnf %d %d" % (cnf.num_vars, len(cnf.clauses)))
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> CNF:
+    """Parse DIMACS text into a :class:`CNF`.
+
+    Tolerates comments anywhere and clauses spanning multiple lines.
+    """
+    cnf = CNF()
+    declared_vars = None
+    pending = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError("malformed problem line: %r" % line)
+            declared_vars = int(parts[2])
+            continue
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                pending.append(lit)
+    if pending:
+        raise ValueError("last clause not terminated with 0")
+    if declared_vars is not None and declared_vars > cnf.num_vars:
+        # Respect declared variable count even if some vars are unused.
+        while cnf.pool.num_vars < declared_vars:
+            cnf.pool.fresh()
+    return cnf
+
+
+def write_file(cnf: CNF, path: PathLike, comment: str = "") -> None:
+    """Write DIMACS to a file."""
+    Path(path).write_text(dumps(cnf, comment))
+
+
+def read_file(path: PathLike) -> CNF:
+    """Read DIMACS from a file."""
+    return loads(Path(path).read_text())

@@ -1,0 +1,19 @@
+"""Seeded workload generators for the experiments."""
+
+from .cnf_gen import (
+    CNFInstance,
+    parity_chain,
+    pigeonhole,
+    random_kcnf,
+    unique_model_instance,
+    unsatisfiable_instance,
+)
+
+__all__ = [
+    "CNFInstance",
+    "parity_chain",
+    "pigeonhole",
+    "random_kcnf",
+    "unique_model_instance",
+    "unsatisfiable_instance",
+]

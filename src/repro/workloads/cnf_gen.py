@@ -1,0 +1,186 @@
+"""CNF workload generators for the SAT-related experiments (E2, E3).
+
+A :class:`CNFInstance` is the abstract SATISFIABILITY instance of the
+paper's Example 1: a set of variables and a set of clauses, each clause a
+set of signed variables.  :mod:`repro.reductions.sat_encoding` turns
+instances into databases ``D(I)`` over the vocabulary ``(V, P, N)``.
+
+All generators are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+SignedVar = Tuple[str, bool]
+"""A literal: ``(variable_name, is_positive)``."""
+
+
+@dataclass(frozen=True)
+class CNFInstance:
+    """An immutable CNF instance.
+
+    Attributes
+    ----------
+    variables:
+        Variable names, in a fixed order.
+    clauses:
+        Each clause is a tuple of ``(variable, is_positive)`` literals.
+    """
+
+    variables: Tuple[str, ...]
+    clauses: Tuple[Tuple[SignedVar, ...], ...]
+
+    def __post_init__(self) -> None:
+        known = set(self.variables)
+        for clause in self.clauses:
+            for var, _ in clause:
+                if var not in known:
+                    raise ValueError("clause mentions unknown variable %r" % var)
+
+    @property
+    def num_variables(self) -> int:
+        """Number of variables."""
+        return len(self.variables)
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses."""
+        return len(self.clauses)
+
+    def is_satisfied_by(self, assignment: Dict[str, bool]) -> bool:
+        """Evaluate under a total assignment."""
+        return all(
+            any(assignment[var] == positive for var, positive in clause)
+            for clause in self.clauses
+        )
+
+    def satisfying_assignments(self) -> List[Dict[str, bool]]:
+        """All satisfying assignments, by truth-table enumeration."""
+        out = []
+        for bits in product((False, True), repeat=len(self.variables)):
+            assignment = dict(zip(self.variables, bits))
+            if self.is_satisfied_by(assignment):
+                out.append(assignment)
+        return out
+
+    def count_models(self) -> int:
+        """Number of satisfying assignments (exponential scan)."""
+        return len(self.satisfying_assignments())
+
+    def is_satisfiable(self) -> bool:
+        """Whether some satisfying assignment exists (exponential scan)."""
+        for bits in product((False, True), repeat=len(self.variables)):
+            if self.is_satisfied_by(dict(zip(self.variables, bits))):
+                return True
+        return False
+
+
+def _var_names(n: int) -> Tuple[str, ...]:
+    return tuple("x%d" % i for i in range(1, n + 1))
+
+
+def random_kcnf(
+    num_vars: int, num_clauses: int, k: int = 3, seed: int = 0
+) -> CNFInstance:
+    """A uniform random k-CNF instance (clauses sampled with replacement,
+    no repeated variable inside a clause)."""
+    if k > num_vars:
+        raise ValueError("clause width %d exceeds variable count %d" % (k, num_vars))
+    rng = random.Random(seed)
+    names = _var_names(num_vars)
+    clauses = []
+    for _ in range(num_clauses):
+        chosen = rng.sample(names, k)
+        clauses.append(tuple((v, rng.random() < 0.5) for v in chosen))
+    return CNFInstance(names, tuple(clauses))
+
+
+def unique_model_instance(num_vars: int, seed: int = 0) -> CNFInstance:
+    """An instance with *exactly one* satisfying assignment.
+
+    Used for the Theorem 2 (US-completeness) experiment.  A random target
+    assignment is fixed; an implication chain plus one anchoring unit
+    clause pins every variable to it:
+
+        (x_1 = a_1)  and  (x_i = a_i  ->  x_{i+1} = a_{i+1})  and
+        (x_n = a_n  ->  x_1 = a_1 reinforced via reverse implications)
+
+    Reverse implications make the chain rigid in both directions, so the
+    model is unique without resorting to all-unit clauses.
+    """
+    rng = random.Random(seed)
+    names = _var_names(num_vars)
+    target = {v: rng.random() < 0.5 for v in names}
+    clauses: List[Tuple[SignedVar, ...]] = [((names[0], target[names[0]]),)]
+    for a, b in zip(names, names[1:]):
+        # a=target(a) -> b=target(b), i.e. (not a-lit) or (b-lit)
+        clauses.append(((a, not target[a]), (b, target[b])))
+        clauses.append(((b, not target[b]), (a, target[a])))
+    return CNFInstance(names, tuple(clauses))
+
+
+def unsatisfiable_instance(num_vars: int = 1) -> CNFInstance:
+    """A minimal unsatisfiable instance: ``x1`` and ``not x1``."""
+    names = _var_names(max(1, num_vars))
+    clauses = (((names[0], True),), ((names[0], False),))
+    return CNFInstance(names, clauses)
+
+
+def pigeonhole(holes: int) -> CNFInstance:
+    """PHP(holes+1, holes): unsatisfiable, classically hard for resolution.
+
+    Variables ``p_i_j`` mean "pigeon i sits in hole j".
+    """
+    pigeons = holes + 1
+    names = tuple(
+        "p_%d_%d" % (i, j) for i in range(1, pigeons + 1) for j in range(1, holes + 1)
+    )
+    clauses: List[Tuple[SignedVar, ...]] = []
+    # Every pigeon somewhere.
+    for i in range(1, pigeons + 1):
+        clauses.append(
+            tuple(("p_%d_%d" % (i, j), True) for j in range(1, holes + 1))
+        )
+    # No two pigeons share a hole.
+    for j in range(1, holes + 1):
+        for i1 in range(1, pigeons + 1):
+            for i2 in range(i1 + 1, pigeons + 1):
+                clauses.append(
+                    (("p_%d_%d" % (i1, j), False), ("p_%d_%d" % (i2, j), False))
+                )
+    return CNFInstance(names, tuple(clauses))
+
+
+def parity_chain(num_vars: int, parity: bool = True) -> CNFInstance:
+    """XOR chain ``x1 xor ... xor xn = parity`` expanded to CNF.
+
+    Has ``2**(n-1)`` models — a counting workload with known answer.
+    """
+    names = _var_names(num_vars)
+    clauses: List[Tuple[SignedVar, ...]] = []
+    for bits in product((False, True), repeat=num_vars):
+        ones = sum(bits)
+        if (ones % 2 == 1) != parity:
+            # Forbid this falsifying assignment.
+            clauses.append(
+                tuple((names[i], not bits[i]) for i in range(num_vars))
+            )
+    return CNFInstance(names, tuple(clauses))
+
+
+def fixed_instance_small() -> CNFInstance:
+    """A tiny hand-made instance with exactly two models, used in docs:
+
+    ``(x1 or x2) and (not x1 or x3) and (not x2 or not x3)``
+    """
+    names = _var_names(3)
+    clauses = (
+        (("x1", True), ("x2", True)),
+        (("x1", False), ("x3", True)),
+        (("x2", False), ("x3", False)),
+    )
+    return CNFInstance(names, clauses)

@@ -1,0 +1,114 @@
+"""Unit + property tests for the relational-algebra kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db import algebra
+from repro.db.relation import Relation
+
+pairs = st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=12)
+
+
+def rel2(name, tuples):
+    return Relation(name, 2, tuples)
+
+
+def test_select_eq():
+    r = rel2("E", [(1, 2), (2, 2)])
+    assert set(algebra.select_eq(r, 0, 1).tuples) == {(1, 2)}
+
+
+def test_select_col_eq():
+    r = rel2("E", [(1, 1), (1, 2)])
+    assert set(algebra.select_col_eq(r, 0, 1).tuples) == {(1, 1)}
+
+
+def test_select_bad_column():
+    with pytest.raises(IndexError):
+        algebra.select_eq(rel2("E", []), 5, 1)
+
+
+def test_project_reorder_and_duplicate():
+    r = rel2("E", [(1, 2)])
+    assert set(algebra.project(r, [1, 0]).tuples) == {(2, 1)}
+    assert set(algebra.project(r, [0, 0, 1]).tuples) == {(1, 1, 2)}
+
+
+def test_project_empty_columns():
+    r = rel2("E", [(1, 2)])
+    out = algebra.project(r, [])
+    assert out.arity == 0
+    assert out.tuples == frozenset({()})
+
+
+def test_join_basic():
+    left = rel2("L", [(1, 2), (3, 4)])
+    right = rel2("R", [(2, 5), (2, 6)])
+    out = algebra.join(left, right, [(1, 0)])
+    assert set(out.tuples) == {(1, 2, 2, 5), (1, 2, 2, 6)}
+
+
+def test_join_no_condition_is_cross():
+    left = rel2("L", [(1, 1)])
+    right = rel2("R", [(2, 2), (3, 3)])
+    assert len(algebra.join(left, right, [])) == 2
+    assert len(algebra.cross(left, right)) == 2
+
+
+def test_join_multi_condition():
+    left = rel2("L", [(1, 2), (1, 3)])
+    right = rel2("R", [(1, 2), (1, 3)])
+    out = algebra.join(left, right, [(0, 0), (1, 1)])
+    assert set(out.tuples) == {(1, 2, 1, 2), (1, 3, 1, 3)}
+
+
+def test_semijoin_antijoin_partition():
+    left = rel2("L", [(1, 2), (3, 4)])
+    right = rel2("R", [(2, 9)])
+    semi = algebra.semijoin(left, right, [(1, 0)])
+    anti = algebra.antijoin(left, right, [(1, 0)])
+    assert set(semi.tuples) == {(1, 2)}
+    assert set(anti.tuples) == {(3, 4)}
+    assert semi.tuples | anti.tuples == left.tuples
+
+
+def test_rename():
+    assert algebra.rename(rel2("E", []), "F").name == "F"
+
+
+def test_full_relation():
+    out = algebra.full_relation("Q", 2, [0, 1])
+    assert len(out) == 4
+
+
+@given(pairs, pairs)
+def test_join_symmetry(xs, ys):
+    """join(L, R) on (i,j) mirrors join(R, L) on (j,i) modulo column swap."""
+    left, right = rel2("L", xs), rel2("R", ys)
+    ab = algebra.join(left, right, [(1, 0)])
+    ba = algebra.join(right, left, [(0, 1)])
+    swapped = {(t[2], t[3], t[0], t[1]) for t in ba}
+    assert set(ab.tuples) == swapped
+
+
+@given(pairs, pairs)
+def test_semijoin_antijoin_cover(xs, ys):
+    left, right = rel2("L", xs), rel2("R", ys)
+    semi = algebra.semijoin(left, right, [(0, 0)])
+    anti = algebra.antijoin(left, right, [(0, 0)])
+    assert semi.tuples | anti.tuples == left.tuples
+    assert not (semi.tuples & anti.tuples)
+
+
+@given(pairs)
+def test_project_identity(xs):
+    r = rel2("E", xs)
+    assert algebra.project(r, [0, 1]).tuples == r.tuples
+
+
+@given(pairs, pairs)
+def test_union_difference_laws(xs, ys):
+    a, b = rel2("A", xs), rel2("A", ys)
+    assert algebra.union(a, b).tuples == xs | ys
+    assert algebra.difference(a, b).tuples == xs - ys
+    assert algebra.intersection(a, b).tuples == xs & ys

@@ -1,0 +1,171 @@
+"""Tests for terms, literals, rules, and programs (the core AST)."""
+
+import pytest
+
+from repro.core.literals import Atom, Eq, Negation, Neq
+from repro.core.program import Program, ProgramError
+from repro.core.rules import Rule, rule
+from repro.core.terms import Constant, Variable, is_constant, is_variable, term
+
+
+class TestTerms:
+    def test_term_coercion_convention(self):
+        assert term("X") == Variable("X")
+        assert term("_tmp") == Variable("_tmp")
+        assert term("a") == Constant("a")
+        assert term(3) == Constant(3)
+        assert term(Variable("Y")) == Variable("Y")
+        assert term(Constant("Z")) == Constant("Z")  # passthrough, not Variable
+
+    def test_predicates(self):
+        assert is_variable(Variable("X")) and not is_variable(Constant(1))
+        assert is_constant(Constant(1)) and not is_constant(Variable("X"))
+
+    def test_str(self):
+        assert str(Variable("X")) == "X"
+        assert str(Constant(7)) == "7"
+
+
+class TestAtoms:
+    def test_args_coerced(self):
+        a = Atom("E", ["X", 1])
+        assert a.args == (Variable("X"), Constant(1))
+        assert a.arity == 2
+
+    def test_variables(self):
+        a = Atom("E", ["X", "X", 1])
+        assert a.variables() == {Variable("X")}
+
+    def test_ground_tuple(self):
+        a = Atom("E", ["X", 5])
+        assert a.ground_tuple({Variable("X"): 9}) == (9, 5)
+
+    def test_ground_tuple_unbound_raises(self):
+        with pytest.raises(KeyError):
+            Atom("E", ["X"]).ground_tuple({})
+
+    def test_substitute(self):
+        a = Atom("E", ["X", "Y"]).substitute({Variable("X"): 3})
+        assert a.args == (Constant(3), Variable("Y"))
+        assert not a.is_ground()
+
+    def test_negate(self):
+        n = Atom("E", ["X"]).negate()
+        assert isinstance(n, Negation)
+        assert n.variables() == {Variable("X")}
+
+
+class TestComparisons:
+    def test_eq_holds(self):
+        assert Eq("X", "Y").holds(1, 1)
+        assert not Eq("X", "Y").holds(1, 2)
+
+    def test_neq_holds(self):
+        assert Neq("X", "Y").holds(1, 2)
+        assert not Neq("X", "Y").holds(1, 1)
+
+    def test_variables_with_constant_side(self):
+        assert Eq("X", 3).variables() == {Variable("X")}
+
+
+class TestRules:
+    def test_views(self):
+        r = rule(
+            Atom("T", ["X"]),
+            Atom("E", ["Y", "X"]),
+            Negation(Atom("T", ["Y"])),
+            Neq("X", "Y"),
+        )
+        assert len(r.positive_atoms()) == 1
+        assert len(r.negated_atoms()) == 1
+        assert len(r.comparisons()) == 1
+        assert r.body_predicates() == {"E", "T"}
+
+    def test_variable_partition(self):
+        r = rule(Atom("T", ["X"]), Atom("E", ["Y", "X"]), Negation(Atom("T", ["Z"])))
+        assert r.head_variables() == {Variable("X")}
+        assert r.existential_variables() == {Variable("Y"), Variable("Z")}
+        assert r.positive_variables() == {Variable("X"), Variable("Y")}
+
+    def test_safety(self):
+        safe = rule(Atom("T", ["X"]), Atom("E", ["X", "Y"]))
+        unsafe = rule(Atom("T", ["X"]), Negation(Atom("T", ["X"])))
+        assert safe.is_safe()
+        assert not unsafe.is_safe()
+
+    def test_positivity_counts_inequalities(self):
+        assert rule(Atom("T", ["X"]), Atom("E", ["X", "X"])).is_positive()
+        assert rule(Atom("T", ["X"]), Eq("X", "X")).is_positive()
+        assert not rule(Atom("T", ["X"]), Neq("X", "X")).is_positive()
+        assert not rule(Atom("T", ["X"]), Negation(Atom("E", ["X", "X"]))).is_positive()
+
+    def test_empty_body_str(self):
+        assert str(rule(Atom("T", [1]))) == "T(1)."
+
+
+class TestProgram:
+    def test_edb_idb_split(self):
+        p = Program(
+            [
+                rule(Atom("T", ["X"]), Atom("E", ["Y", "X"])),
+                rule(Atom("S", ["X"]), Atom("T", ["X"])),
+            ]
+        )
+        assert p.idb_predicates == {"T", "S"}
+        assert p.edb_predicates == {"E"}
+        assert p.predicates == {"T", "S", "E"}
+
+    def test_arity_consistency_enforced(self):
+        with pytest.raises(ProgramError):
+            Program(
+                [
+                    rule(Atom("T", ["X"]), Atom("E", ["X"])),
+                    rule(Atom("T", ["X", "Y"]), Atom("E", ["X"])),
+                ]
+            )
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            Program([])
+
+    def test_carrier_default_single_idb(self):
+        p = Program([rule(Atom("T", ["X"]), Atom("E", ["X", "X"]))])
+        assert p.carrier == "T"
+
+    def test_carrier_required_for_multi_idb(self):
+        p = Program(
+            [
+                rule(Atom("T", ["X"]), Atom("E", ["X", "X"])),
+                rule(Atom("S", ["X"]), Atom("T", ["X"])),
+            ]
+        )
+        with pytest.raises(ProgramError):
+            _ = p.carrier
+        assert p.with_carrier("S").carrier == "S"
+
+    def test_carrier_must_be_idb(self):
+        with pytest.raises(ProgramError):
+            Program([rule(Atom("T", ["X"]), Atom("E", ["X", "X"]))], carrier="E")
+
+    def test_rules_for(self):
+        r1 = rule(Atom("T", ["X"]), Atom("E", ["X", "X"]))
+        r2 = rule(Atom("T", ["X"]), Atom("T", ["X"]))
+        p = Program([r1, r2])
+        assert p.rules_for("T") == (r1, r2)
+
+    def test_union(self):
+        a = Program([rule(Atom("T", ["X"]), Atom("E", ["X", "X"]))])
+        b = Program([rule(Atom("S", ["X"]), Atom("T", ["X"]))])
+        combined = a.union(b, carrier="S")
+        assert combined.idb_predicates == {"T", "S"}
+
+    def test_is_positive_and_safe(self):
+        pos = Program([rule(Atom("T", ["X"]), Atom("E", ["X", "Y"]))])
+        assert pos.is_positive() and pos.is_safe()
+        neg = Program([rule(Atom("T", ["X"]), Negation(Atom("E", ["X", "X"])))])
+        assert not neg.is_positive() and not neg.is_safe()
+
+    def test_equality_ignores_rule_order(self):
+        r1 = rule(Atom("T", ["X"]), Atom("E", ["X", "X"]))
+        r2 = rule(Atom("T", ["X"]), Atom("T", ["X"]))
+        assert Program([r1, r2]) == Program([r2, r1])

@@ -1,0 +1,112 @@
+"""Tests for Boolean circuits and succinct graphs (Theorem 4 substrate)."""
+
+from itertools import product
+
+import pytest
+
+from repro.circuits.circuit import AND, IN, NOT, OR, Circuit, CircuitBuilder, Gate
+from repro.circuits.builders import (
+    complete_graph_circuit,
+    empty_graph_circuit,
+    explicit_graph_circuit,
+    hypercube_circuit,
+)
+from repro.circuits.succinct import SuccinctGraph
+from repro.graphs import generators as gg
+from repro.graphs.digraph import Digraph
+
+
+class TestGateValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Gate("XOR", 1, 1)
+
+    def test_in_gate_shape(self):
+        with pytest.raises(ValueError):
+            Gate(IN, 1, 0)
+
+    def test_not_gate_shape(self):
+        with pytest.raises(ValueError):
+            Gate(NOT, 1, 2)
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit([Gate(IN, 0, 0), Gate(AND, 1, 2)])  # gate 2 feeds itself
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit([])
+
+
+class TestEvaluation:
+    def test_basic_gates(self):
+        b = CircuitBuilder()
+        x, y = b.input(), b.input()
+        b.or_(b.and_(x, y), b.not_(x))
+        circuit = b.build()
+        truth = {
+            (0, 0): True, (0, 1): True, (1, 0): False, (1, 1): True
+        }
+        for bits, expected in truth.items():
+            assert circuit.evaluate(bits) is expected
+
+    def test_input_count_enforced(self):
+        b = CircuitBuilder()
+        b.input()
+        with pytest.raises(ValueError):
+            b.build().evaluate((0, 1))
+
+    def test_and_all_or_all(self):
+        b = CircuitBuilder()
+        xs = [b.input() for _ in range(3)]
+        b.and_all(xs)
+        c = b.build()
+        assert c.evaluate((1, 1, 1)) and not c.evaluate((1, 0, 1))
+
+    def test_constant_false(self):
+        b = CircuitBuilder()
+        b.input()
+        b.constant_false()
+        c = b.build()
+        assert not c.evaluate((0,)) and not c.evaluate((1,))
+
+
+class TestSuccinct:
+    def test_arity_check(self):
+        b = CircuitBuilder()
+        b.input()
+        with pytest.raises(ValueError):
+            SuccinctGraph(b.build(), 1)  # needs 2 inputs for 1 address bit
+
+    def test_explicit_roundtrip(self):
+        nodes = [tuple(bits) for bits in product((0, 1), repeat=2)]
+        g = Digraph(nodes, [(nodes[0], nodes[1]), (nodes[2], nodes[3])])
+        sg = explicit_graph_circuit(g, 2)
+        assert sg.expand() == g
+
+    def test_explicit_rejects_bad_nodes(self):
+        with pytest.raises(ValueError):
+            explicit_graph_circuit(gg.path(2), 1)  # int nodes, not bit tuples
+
+    def test_empty_graph(self):
+        assert len(empty_graph_circuit(2).expand().edges) == 0
+
+    def test_complete_graph(self):
+        g = complete_graph_circuit(2).expand()
+        assert len(g.edges) == 12  # K4 directed both ways
+        assert all(u != v for u, v in g.edges)
+
+    def test_hypercube_circuit_matches_generator(self):
+        expanded = hypercube_circuit(3).expand()
+        reference = gg.hypercube(3)
+        assert expanded.edges == reference.edges
+
+    def test_has_edge_agrees_with_expand(self):
+        sg = hypercube_circuit(2)
+        explicit = sg.expand()
+        for u in explicit.nodes:
+            for v in explicit.nodes:
+                assert sg.has_edge(u, v) == ((u, v) in explicit.edges)
+
+    def test_num_nodes(self):
+        assert hypercube_circuit(3).num_nodes == 8

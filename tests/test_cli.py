@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    """A program file and CSV database for the paper's pi_1 on L_4."""
+    program = tmp_path / "pi1.dl"
+    program.write_text("T(X) :- E(Y, X), !T(Y).\n")
+    dbdir = tmp_path / "db"
+    dbdir.mkdir()
+    (dbdir / "E.csv").write_text("1,2\n2,3\n3,4\n")
+    return program, dbdir
+
+
+def test_run_inflationary(workspace, capsys):
+    program, dbdir = workspace
+    assert main(["run", str(program), "--db", str(dbdir)]) == 0
+    out = capsys.readouterr().out
+    assert "engine=inflationary" in out
+    assert "T/1 (3 tuples)" in out
+
+
+def test_run_wellfounded(workspace, capsys):
+    program, dbdir = workspace
+    assert main(["run", str(program), "--db", str(dbdir), "--semantics", "wellfounded"]) == 0
+    out = capsys.readouterr().out
+    assert "total=True" in out
+
+
+def test_run_naive_rejects_general_program(workspace):
+    program, dbdir = workspace
+    from repro.core.semantics import SemanticsError
+
+    with pytest.raises(SemanticsError):
+        main(["run", str(program), "--db", str(dbdir), "--semantics", "naive"])
+
+
+def test_analyze(workspace, capsys):
+    program, dbdir = workspace
+    assert main(["analyze", str(program), "--db", str(dbdir)]) == 0
+    out = capsys.readouterr().out
+    assert "fixpoint exists : True" in out
+    assert "unique          : True" in out
+    assert "least fixpoint:" in out
+
+
+def test_classify(workspace, capsys):
+    program, _ = workspace
+    assert main(["classify", str(program)]) == 0
+    out = capsys.readouterr().out
+    assert "class            : general" in out
+    assert "inflationary ok  : True" in out
+
+
+def test_classify_stratified(tmp_path, capsys):
+    program = tmp_path / "strat.dl"
+    program.write_text(
+        "TC(X, Y) :- E(X, Y). TC(X, Y) :- E(X, Z), TC(Z, Y). N(X, Y) :- !TC(X, Y).\n"
+    )
+    assert main(["classify", str(program)]) == 0
+    out = capsys.readouterr().out
+    assert "class            : stratified" in out
+    assert "stratum 0        : TC" in out
+    assert "stratum 1        : N" in out
+
+
+def test_run_with_carrier(tmp_path, capsys):
+    program = tmp_path / "two.dl"
+    program.write_text("A(X) :- E(X, Y). B(X) :- A(X).\n")
+    dbdir = tmp_path / "db"
+    dbdir.mkdir()
+    (dbdir / "E.csv").write_text("1,2\n")
+    assert main(["run", str(program), "--db", str(dbdir), "--carrier", "B"]) == 0
+    out = capsys.readouterr().out
+    assert "A/1" in out and "B/1" in out
+
+
+def test_missing_database_relation(tmp_path):
+    program = tmp_path / "p.dl"
+    program.write_text("T(X) :- E(X, X).\n")
+    dbdir = tmp_path / "db"
+    dbdir.mkdir()
+    with pytest.raises(FileNotFoundError):
+        main(["run", str(program), "--db", str(dbdir)])

@@ -1,0 +1,43 @@
+"""Round-trip tests for CSV I/O."""
+
+import pytest
+
+from repro.db import csvio
+from repro.db.database import Database
+from repro.db.relation import Relation
+
+
+def test_relation_roundtrip(tmp_path):
+    rel = Relation("E", 2, [(1, 2), (2, 3)])
+    path = tmp_path / "E.csv"
+    csvio.dump_relation(rel, path)
+    back = csvio.load_relation(path, "E", 2)
+    assert back == rel
+
+
+def test_mixed_value_coercion(tmp_path):
+    rel = Relation("M", 2, [(1, "a"), ("b", 2)])
+    path = tmp_path / "M.csv"
+    csvio.dump_relation(rel, path)
+    back = csvio.load_relation(path, "M", 2)
+    assert back == rel
+
+
+def test_arity_mismatch_raises(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("1,2,3\n")
+    with pytest.raises(ValueError):
+        csvio.load_relation(path, "E", 2)
+
+
+def test_database_roundtrip(tmp_path):
+    db = Database(
+        {1, 2, 3},
+        [Relation("E", 2, [(1, 2), (2, 3)]), Relation("V", 1, [(1,), (3,)])],
+    )
+    csvio.dump_database(db, tmp_path)
+    back = csvio.load_database(tmp_path, {"E": 2, "V": 1})
+    assert back["E"] == db["E"]
+    assert back["V"] == db["V"]
+    # The reloaded universe is the active domain.
+    assert back.universe == {1, 2, 3}

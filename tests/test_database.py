@@ -1,0 +1,86 @@
+"""Unit tests for repro.db.database."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.relation import Relation
+
+
+def test_basic_access():
+    db = Database({1, 2}, [Relation("E", 2, [(1, 2)])])
+    assert "E" in db
+    assert db["E"].arity == 2
+    assert db.arity_of("E") == 2
+    assert db.get("missing") is None
+
+
+def test_missing_relation_raises_keyerror():
+    db = Database({1}, [])
+    with pytest.raises(KeyError):
+        db["E"]
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(ValueError):
+        Database({1}, [Relation("E", 1, []), Relation("E", 2, [])])
+
+
+def test_domain_check():
+    with pytest.raises(ValueError):
+        Database({1}, [Relation("E", 2, [(1, 99)])])
+
+
+def test_domain_check_can_be_skipped():
+    db = Database({1}, [Relation("E", 2, [(1, 99)])], check=False)
+    assert (1, 99) in db["E"]
+
+
+def test_from_dict_infers_arity():
+    db = Database.from_dict({1, 2}, {"E": [(1, 2)]})
+    assert db["E"].arity == 2
+
+
+def test_from_dict_empty_needs_arity():
+    with pytest.raises(ValueError):
+        Database.from_dict({1}, {"E": []})
+    db = Database.from_dict({1}, {"E": []}, arities={"E": 2})
+    assert db["E"].arity == 2
+
+
+def test_with_relation_replaces():
+    db = Database({1, 2}, [Relation("E", 2, [(1, 2)])])
+    db2 = db.with_relation(Relation("E", 2, [(2, 1)]))
+    assert (1, 2) in db["E"]  # original untouched
+    assert set(db2["E"].tuples) == {(2, 1)}
+
+
+def test_with_relations_adds_new():
+    db = Database({1, 2}, [])
+    db2 = db.with_relations([Relation("T", 1, [(1,)]), Relation("U", 1, [])])
+    assert "T" in db2 and "U" in db2
+
+
+def test_without_and_restrict():
+    db = Database({1}, [Relation("A", 1, []), Relation("B", 1, [])])
+    assert db.without("A").relation_names() == ("B",)
+    assert db.restrict(["A"]).relation_names() == ("A",)
+
+
+def test_active_domain():
+    db = Database({1, 2, 3, 4}, [Relation("E", 2, [(1, 2)])])
+    assert db.active_domain() == {1, 2}
+    assert db.universe == {1, 2, 3, 4}
+
+
+def test_equality_and_hash():
+    a = Database({1, 2}, [Relation("E", 2, [(1, 2)])])
+    b = Database({1, 2}, [Relation("E", 2, [(1, 2)])])
+    c = Database({1, 2, 3}, [Relation("E", 2, [(1, 2)])])
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+
+
+def test_relation_names_sorted():
+    db = Database({1}, [Relation("Z", 1, []), Relation("A", 1, [])])
+    assert db.relation_names() == ("A", "Z")

@@ -1,0 +1,67 @@
+"""Integration: the E1–E9 experiment suite must reproduce the paper.
+
+These are the heaviest tests in the suite — each one regenerates a whole
+experiment and asserts every `ok` cell.  They double as the executable
+record behind EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench import all_experiments, experiment
+from repro.bench.harness import Table
+
+
+def test_registry_complete():
+    idents = [e.ident for e in all_experiments()]
+    assert idents == ["e%d" % i for i in range(1, 10)]
+
+
+def test_unknown_experiment():
+    with pytest.raises(KeyError):
+        experiment("e99")
+
+
+@pytest.mark.parametrize("ident", ["e%d" % i for i in range(1, 10)])
+def test_experiment_reproduces_paper_claim(ident):
+    exp = experiment(ident)
+    tables = exp.run()
+    assert tables, "experiment %s produced no tables" % ident
+    for table in tables:
+        assert table.all_ok(), "failing rows in %r:\n%s" % (
+            table.title,
+            table.render(),
+        )
+
+
+class TestHarness:
+    def test_row_arity_check(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_all_ok_uses_ok_columns(self):
+        table = Table("t", ["value", "ok"])
+        table.add("x", True)
+        assert table.all_ok()
+        table.add("y", False)
+        assert not table.all_ok()
+
+    def test_render_contains_cells_and_notes(self):
+        table = Table("title", ["col"])
+        table.add(42)
+        table.note("a note")
+        text = table.render()
+        assert "42" in text and "a note" in text and "title" in text
+
+    def test_render_markdown(self):
+        table = Table("m", ["c1", "c2"])
+        table.add(True, 1.25)
+        md = table.render_markdown()
+        assert md.startswith("### m")
+        assert "| yes | 1.25 |" in md
+
+    def test_duplicate_registration_rejected(self):
+        from repro.bench.harness import register
+
+        with pytest.raises(ValueError):
+            register("e1", "dup", "dup")(lambda: [])

@@ -1,0 +1,59 @@
+"""Tests for the fixpoint-comparison utilities (Section 2 definitions)."""
+
+import pytest
+
+from repro.db.relation import Relation
+from repro.core.fixpoint import (
+    idb_equal,
+    idb_intersection,
+    idb_leq,
+    idb_union,
+    incomparable,
+    least_among,
+    total_idb_size,
+)
+
+
+def val(*tuples):
+    return {"T": Relation("T", 1, [(t,) for t in tuples])}
+
+
+def test_leq_and_equal():
+    assert idb_leq(val(1), val(1, 2))
+    assert not idb_leq(val(1, 2), val(1))
+    assert idb_equal(val(1, 2), val(2, 1))
+
+
+def test_leq_requires_same_predicates():
+    with pytest.raises(ValueError):
+        idb_leq(val(1), {"U": Relation("U", 1, [])})
+
+
+def test_incomparable():
+    assert incomparable(val(1), val(2))
+    assert not incomparable(val(1), val(1, 2))
+
+
+def test_intersection_union():
+    inter = idb_intersection([val(1, 2), val(2, 3)])
+    assert set(inter["T"].tuples) == {(2,)}
+    uni = idb_union([val(1), val(2)])
+    assert set(uni["T"].tuples) == {(1,), (2,)}
+
+
+def test_intersection_empty_family_rejected():
+    with pytest.raises(ValueError):
+        idb_intersection([])
+    with pytest.raises(ValueError):
+        idb_union([])
+
+
+def test_least_among():
+    family = [val(1), val(1, 2), val(1, 3)]
+    assert least_among(family) == val(1)
+    # The paper's even-cycle situation: two incomparable fixpoints.
+    assert least_among([val(1), val(2)]) is None
+
+
+def test_total_idb_size():
+    assert total_idb_size(val(1, 2, 3)) == 3

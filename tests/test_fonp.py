@@ -1,0 +1,111 @@
+"""Tests for the FO(NP) machinery and the paper's example query."""
+
+import pytest
+
+from repro import Database, Relation
+from repro.core.terms import Variable
+from repro.graphs import generators as gg, graph_to_database
+from repro.graphs.digraph import Digraph
+from repro.logic.fo import And, AtomF, EqF, Exists, ForAll, IFP, Not, Top
+from repro.logic.fonp import (
+    FONPQuery,
+    oracle_3colorable_without,
+    oracle_hamiltonian_without,
+    paper_example_query,
+)
+
+X, Y = Variable("X"), Variable("Y")
+
+
+class TestFONPEvaluation:
+    def test_plain_fo_still_works(self):
+        query = FONPQuery(Exists(X, AtomF("E", [X, X])), {})
+        loopy = Database({1}, [Relation("E", 2, [(1, 1)])])
+        plain = Database({1, 2}, [Relation("E", 2, [(1, 2)])])
+        assert query.holds(loopy)
+        assert not query.holds(plain)
+
+    def test_oracle_dispatch_and_memoisation(self):
+        seen = []
+
+        def oracle(db, args):
+            seen.append(args)
+            return args[0] == 1
+
+        query = FONPQuery(Exists(X, AtomF("MAGIC", [X])), {"MAGIC": oracle})
+        db = Database({1, 2, 3}, [])
+        assert query.holds(db)
+        assert query.calls == len(set(seen))
+        query.holds(db)  # memoised: no new calls
+        assert query.calls == len(set(seen))
+        query.reset()
+        assert query.calls == 0
+
+    def test_equality_under_quantifier(self):
+        query = FONPQuery(ForAll(X, Exists(Y, EqF(X, Y))), {})
+        assert query.holds(Database({1, 2}, []))
+
+    def test_ifp_rejected(self):
+        node = IFP("S", (X,), Top(), (X,))
+        query = FONPQuery(Exists(X, node), {})
+        with pytest.raises(TypeError):
+            query.holds(Database({1}, []))
+
+
+class TestOracles:
+    def test_edge_removal_oracles(self):
+        # K_4: not 3-colorable, but drop any edge and it is.
+        db = graph_to_database(gg.complete(4))
+        assert oracle_3colorable_without(db, (1, 2))
+        # C_4 is Hamiltonian; removing an edge of the circuit kills it.
+        db = graph_to_database(gg.cycle(4))
+        assert not oracle_hamiltonian_without(db, (1, 2))
+
+
+class TestPaperExample:
+    """'Is there an edge whose removal leaves the graph 3-colorable but
+    not Hamiltonian?'"""
+
+    def test_positive_instance(self):
+        # K_4 (both directions): removing the undirected edge {1,2} gives a
+        # graph that is 3-colorable; is it still Hamiltonian?  K_4 minus an
+        # edge keeps a Hamilton circuit, so go smaller: the directed C_4 is
+        # Hamiltonian and 2-colorable; removing any edge breaks the circuit
+        # while staying colorable => positive instance.
+        query = paper_example_query()
+        db = graph_to_database(gg.cycle(4))
+        assert query.holds(db)
+        assert query.calls >= 1
+
+    def test_negative_instance_no_edges(self):
+        query = paper_example_query()
+        db = Database({1, 2}, [Relation("E", 2, [])])
+        assert not query.holds(db)
+
+    def test_negative_instance_still_hamiltonian(self):
+        # Two parallel 2-cycles between 1-2: removing one directed pair
+        # leaves... use K_3 both directions: minus one undirected edge the
+        # remaining graph still has the triangle? No: K_3 minus {1,2} has
+        # edges 1-3, 2-3 only: no Hamilton circuit, 3-colorable => still a
+        # positive instance.  A genuinely negative one: a single 2-cycle
+        # (1<->2): removing it disconnects, graph is 3-colorable and not
+        # Hamiltonian... positive again.  Truly negative: graph where every
+        # edge removal leaves it Hamiltonian: two nodes with double edges
+        # is impossible in our simple digraph; use the 1-node loop.
+        query = paper_example_query()
+        loop = Database({1}, [Relation("E", 2, [(1, 1)])])
+        # Removing the loop leaves the trivially 3-colorable single node,
+        # which has no Hamilton circuit (no loop) => actually positive.
+        assert query.holds(loop)
+        # Negative requires no edge at all or every removal Hamiltonian:
+        # K_4 with all edges doubled stays Hamiltonian after one removal.
+        db = graph_to_database(gg.complete(4))
+        assert not query.holds(db)  # K_4 minus one edge is still Hamiltonian
+
+    def test_call_budget_is_polynomial(self):
+        query = paper_example_query()
+        graph = gg.cycle(4)
+        db = graph_to_database(graph)
+        query.holds(db)
+        # At most 2 oracle calls per universe pair.
+        assert query.calls <= 2 * len(graph.nodes) ** 2

@@ -1,0 +1,104 @@
+"""Tests for the grounder and GroundProgram."""
+
+import pytest
+from hypothesis import given
+
+from repro import Database, Relation, parse_program
+from repro.core.grounding import GroundRule, ground_program
+from repro.core.operator import empty_idb, theta
+from repro.core.satreduction import FixpointSAT
+
+from conftest import random_programs, small_databases
+
+
+def test_pi1_grounding(pi1_program, path4_db):
+    gp = ground_program(pi1_program, path4_db)
+    # One ground instance per edge: T(x) <- not T(y) for each E(y, x).
+    assert len(gp.rules) == 3
+    assert gp.derivable == {("T", (2,)), ("T", (3,)), ("T", (4,))}
+
+
+def test_ground_rule_shape(pi1_program, path4_db):
+    gp = ground_program(pi1_program, path4_db)
+    rule = gp.by_head[("T", (2,))][0]
+    assert rule.pos == ()
+    assert rule.neg == (("T", (1,)),)
+
+
+def test_edb_filters_resolved_at_ground_time():
+    p = parse_program("T(X) :- E(X, Y), X != Y, !V(X).")
+    db = Database(
+        {1, 2, 3},
+        [Relation("E", 2, [(1, 2), (2, 2), (3, 1)]), Relation("V", 1, [(3,)])],
+    )
+    gp = ground_program(p, db)
+    # (1,2): ok.  (2,2): killed by X != Y.  (3,1): killed by V(3).
+    assert gp.derivable == {("T", (1,))}
+    assert gp.rules[0].neg == ()  # EDB negation resolved away
+
+
+def test_idb_atoms_stay_symbolic(tc_program, path4_db):
+    gp = ground_program(tc_program, path4_db)
+    recursive = [r for r in gp.rules if r.pos]
+    assert recursive  # S(x,y) <- E(x,z), S(z,y) instances keep S symbolic
+    for r in recursive:
+        assert all(pred == "S" for pred, _ in r.pos)
+
+
+def test_duplicate_ground_rules_collapse():
+    p = parse_program("T(X) :- E(X, Y). T(X) :- E(X, Z).")
+    db = Database({1, 2}, [Relation("E", 2, [(1, 2)])])
+    gp = ground_program(p, db)
+    assert len(gp.rules) == 1
+
+
+def test_atom_space_size(pi1_program, path4_db):
+    gp = ground_program(pi1_program, path4_db)
+    assert gp.atom_space_size() == 4  # |A|^1
+
+
+def test_is_fixpoint_agrees_with_theta(pi1_program, path4_db):
+    gp = ground_program(pi1_program, path4_db)
+    assert gp.is_fixpoint({("T", (2,)), ("T", (4,))})
+    assert not gp.is_fixpoint({("T", (2,))})
+
+
+def test_idb_map_conversions(pi1_program, path4_db):
+    gp = ground_program(pi1_program, path4_db)
+    atoms = {("T", (2,)), ("T", (4,))}
+    idb = gp.to_idb_map(atoms)
+    assert set(idb["T"].tuples) == {(2,), (4,)}
+    assert gp.from_idb_map(idb) == atoms
+
+
+def test_bodyless_rule_with_head_constant():
+    p = parse_program("G(X, 1, Y).")
+    db = Database({0, 1}, [])
+    gp = ground_program(p, db)
+    assert len(gp.derivable) == 4
+    assert all(values[1] == 1 for _, values in gp.derivable)
+
+
+@given(random_programs(), small_databases())
+def test_ground_fixpoint_check_matches_theta(program, db):
+    """The ground system and Theta agree on what a fixpoint is."""
+    gp = ground_program(program, db)
+    # Use Theta's own first two iterates as probe valuations.
+    probes = [empty_idb(program)]
+    probes.append(theta(program, db, probes[0]))
+    probes.append(theta(program, db, probes[1]))
+    for probe in probes:
+        via_theta = theta(program, db, probe) == {
+            p: r.with_name(p) for p, r in probe.items()
+        }
+        via_ground = gp.is_fixpoint(gp.from_idb_map(probe))
+        assert via_theta == via_ground
+
+
+@given(random_programs(), small_databases())
+def test_derivable_upper_bounds_theta(program, db):
+    """Theta's output (on any input) only contains derivable atoms."""
+    gp = ground_program(program, db)
+    for probe in (empty_idb(program), theta(program, db, empty_idb(program))):
+        out = theta(program, db, probe)
+        assert gp.from_idb_map(out) <= gp.derivable

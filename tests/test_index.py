@@ -1,0 +1,42 @@
+"""Unit tests for hash indexes."""
+
+import pytest
+
+from repro.db.index import HashIndex
+from repro.db.relation import Relation
+
+
+def test_lookup():
+    rel = Relation("E", 2, [(1, 2), (1, 3), (2, 3)])
+    idx = HashIndex(rel, [0])
+    assert sorted(idx.lookup((1,))) == [(1, 2), (1, 3)]
+    assert idx.lookup((9,)) == []
+
+
+def test_compound_key():
+    rel = Relation("E", 3, [(1, 2, 3), (1, 2, 4)])
+    idx = HashIndex(rel, [0, 1])
+    assert len(idx.lookup((1, 2))) == 2
+    assert (1, 2) in idx
+
+
+def test_empty_key_indexes_everything():
+    rel = Relation("E", 2, [(1, 2), (3, 4)])
+    idx = HashIndex(rel, [])
+    assert len(idx.lookup(())) == 2
+
+
+def test_len_counts_tuples():
+    rel = Relation("E", 2, [(1, 2), (3, 4)])
+    assert len(HashIndex(rel, [0])) == 2
+
+
+def test_bad_column():
+    with pytest.raises(IndexError):
+        HashIndex(Relation("E", 2, []), [7])
+
+
+def test_keys():
+    rel = Relation("E", 2, [(1, 2), (1, 3), (2, 3)])
+    idx = HashIndex(rel, [0])
+    assert set(idx.keys()) == {(1,), (2,)}

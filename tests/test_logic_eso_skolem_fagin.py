@@ -1,0 +1,161 @@
+"""Tests for ESO checking, Skolem normal form, and the Theorem 1 compiler."""
+
+import pytest
+
+from repro import Database, Relation
+from repro.core.satreduction import has_fixpoint
+from repro.core.terms import Constant, Variable
+from repro.graphs import generators as gg, graph_to_database
+from repro.logic.eso import ESOFormula, ESOSearchLimit, count_witnesses, eso_holds, witnesses
+from repro.logic.fo import (
+    AtomF,
+    Exists,
+    ForAll,
+    Not,
+    and_,
+    exists_all,
+    forall_all,
+    or_,
+)
+from repro.logic.skolem import skolemize
+from repro.reductions.fagin import eso_to_program
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def two_colorable() -> ESOFormula:
+    """exists S: every edge is bichromatic under S."""
+    matrix = forall_all(
+        [X, Y],
+        or_(
+            Not(AtomF("E", [X, Y])),
+            and_(AtomF("S", [X]), Not(AtomF("S", [Y]))),
+            and_(Not(AtomF("S", [X])), AtomF("S", [Y])),
+        ),
+    )
+    return ESOFormula((("S", 1),), matrix)
+
+
+class TestESO:
+    def test_two_colorability(self):
+        assert eso_holds(two_colorable(), graph_to_database(gg.cycle(4)))
+        assert not eso_holds(two_colorable(), graph_to_database(gg.cycle(5)))
+
+    def test_witnesses_are_certificates(self):
+        db = graph_to_database(gg.path(3))
+        for witness in witnesses(two_colorable(), db):
+            side = witness["S"]
+            for u, v in gg.path(3).edges:
+                assert ((u,) in side) != ((v,) in side)
+
+    def test_count_witnesses(self):
+        # On the single edge 1->2 the S-sides: {1},{2},{1,?},... exactly
+        # the assignments where ends differ: S in {{1},{2},{1,3},{2,3}}...
+        db = graph_to_database(gg.path(2))
+        assert count_witnesses(two_colorable(), db) == 2
+
+    def test_free_variables_rejected(self):
+        with pytest.raises(ValueError):
+            ESOFormula((("S", 1),), AtomF("S", [X]))
+
+    def test_duplicate_so_names_rejected(self):
+        with pytest.raises(ValueError):
+            ESOFormula((("S", 1), ("S", 2)), forall_all([X], AtomF("S", [X])))
+
+    def test_search_limit(self):
+        big = Database(set(range(8)), [Relation("E", 2, [])])
+        wide = ESOFormula(
+            (("S", 2), ("R", 2)),
+            forall_all([X], Exists(Y, AtomF("S", [X, Y]))),
+        )
+        with pytest.raises(ESOSearchLimit):
+            eso_holds(wide, big, limit=1000)
+
+
+class TestSkolemize:
+    def test_already_skolem_form_unchanged_signature(self):
+        snf = skolemize(two_colorable())
+        assert snf.so_signature == (("S", 1),)
+        assert not snf.existentials
+
+    def test_alternation_introduces_graph_relation(self):
+        matrix = Exists(Y, ForAll(X, or_(AtomF("E", [Y, X]), AtomF("S", [X]))))
+        snf = skolemize(ESOFormula((("S", 1),), matrix))
+        assert ("SK1", 1) in snf.so_signature
+
+    def test_equivalence_on_small_structures(self):
+        """SNF(psi) and psi agree on every graph we can brute force."""
+        formulas = [
+            two_colorable(),
+            ESOFormula(
+                (("S", 1),),
+                Exists(Y, ForAll(X, or_(AtomF("E", [Y, X]), AtomF("S", [X])))),
+            ),
+            ESOFormula(
+                (("S", 1),),
+                ForAll(
+                    X,
+                    Exists(
+                        Y,
+                        or_(
+                            and_(AtomF("E", [X, Y]), AtomF("S", [Y])),
+                            and_(AtomF("S", [X]), Not(AtomF("S", [Y]))),
+                        ),
+                    ),
+                ),
+            ),
+        ]
+        graphs = [gg.path(2), gg.path(3), gg.cycle(3)]
+        for formula in formulas:
+            snf = skolemize(formula)
+            for graph in graphs:
+                db = graph_to_database(graph)
+                assert eso_holds(formula, db) == eso_holds(snf.to_eso(), db)
+
+    def test_triple_alternation_terminates(self):
+        matrix = ForAll(
+            X, Exists(Y, ForAll(Z, or_(AtomF("E", [X, Y]), AtomF("S", [Z]))))
+        )
+        snf = skolemize(ESOFormula((("S", 1),), matrix))
+        # Prefix is forall* exists*.
+        assert snf.universals and snf.existentials is not None
+
+
+class TestFaginCompiler:
+    def test_theorem1_equivalence(self):
+        comp = eso_to_program(two_colorable())
+        for graph in (gg.path(3), gg.cycle(3), gg.cycle(4), gg.cycle(5)):
+            db = graph_to_database(graph)
+            assert has_fixpoint(comp.program, db) == eso_holds(two_colorable(), db)
+
+    def test_compiled_program_structure(self):
+        comp = eso_to_program(two_colorable())
+        # S kept nondatabase via S :- S; toggle present.
+        assert comp.q_pred in comp.program.idb_predicates
+        assert comp.t_pred in comp.program.idb_predicates
+        assert "S" in comp.program.idb_predicates
+        assert comp.program.edb_predicates == {"E"}
+
+    def test_no_universal_variables_case(self):
+        """A purely existential sentence still compiles (dummy Q variable)."""
+        sentence = ESOFormula(
+            (("S", 1),),
+            exists_all([X, Y], and_(AtomF("E", [X, Y]), AtomF("S", [X]))),
+        )
+        comp = eso_to_program(sentence)
+        yes = graph_to_database(gg.path(2))
+        no = Database({1, 2}, [Relation("E", 2, [])])
+        assert has_fixpoint(comp.program, yes)
+        assert not has_fixpoint(comp.program, no)
+        assert eso_holds(sentence, yes) and not eso_holds(sentence, no)
+
+    def test_predicate_name_collision_avoided(self):
+        """A vocabulary already using Q and T must not be clobbered."""
+        sentence = ESOFormula(
+            (("S", 1),),
+            forall_all([X], or_(Not(AtomF("Q", [X])), AtomF("S", [X]))),
+        )
+        comp = eso_to_program(sentence)
+        assert comp.q_pred != "Q"
+        db_yes = Database({1}, [Relation("Q", 1, [(1,)])])
+        assert has_fixpoint(comp.program, db_yes) == eso_holds(sentence, db_yes)

@@ -1,0 +1,162 @@
+"""Tests for the FO substrate: evaluation, normal forms, IFP."""
+
+import pytest
+
+from repro import Database, Relation
+from repro.core.terms import Constant, Variable
+from repro.logic.fo import (
+    AtomF,
+    Bottom,
+    EqF,
+    Exists,
+    ForAll,
+    IFP,
+    Not,
+    Top,
+    and_,
+    evaluate,
+    exists_all,
+    forall_all,
+    free_variables,
+    iff,
+    ifp_relation,
+    implies,
+    matrix_to_dnf,
+    or_,
+    predicates_of,
+    query,
+    rename_apart,
+    to_nnf,
+    to_prenex,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+@pytest.fixture
+def db():
+    return Database({1, 2, 3}, [Relation("E", 2, [(1, 2), (2, 3)])])
+
+
+class TestEvaluate:
+    def test_atoms_and_equality(self, db):
+        assert evaluate(AtomF("E", [1, 2]), db)
+        assert not evaluate(AtomF("E", [2, 1]), db)
+        assert evaluate(EqF(X, X), db, {X: 1})
+        assert evaluate(EqF(X, Constant(1)), db, {X: 1})
+
+    def test_missing_relation_is_empty(self, db):
+        assert not evaluate(AtomF("Nope", [1]), db)
+
+    def test_connectives(self, db):
+        assert evaluate(and_(Top(), Not(Bottom())), db)
+        assert evaluate(or_(Bottom(), AtomF("E", [1, 2])), db)
+        assert evaluate(implies(Bottom(), Top()), db)
+        assert evaluate(iff(Top(), Top()), db)
+
+    def test_quantifiers(self, db):
+        # Every node with an in-edge has an out-edge? false (3 has none).
+        f = forall_all([X], implies(
+            Exists(Y, AtomF("E", [Y, X])), Exists(Z, AtomF("E", [X, Z]))
+        ))
+        assert not evaluate(f, db)
+        assert evaluate(Exists(X, AtomF("E", [X, 2])), db)
+
+    def test_unbound_variable_raises(self, db):
+        with pytest.raises(ValueError):
+            evaluate(AtomF("E", [X, Y]), db, {X: 1})
+
+    def test_query(self, db):
+        out = query(AtomF("E", [X, Y]), db, [Y, X])
+        assert out == {(2, 1), (3, 2)}
+
+    def test_query_free_var_check(self, db):
+        with pytest.raises(ValueError):
+            query(AtomF("E", [X, Y]), db, [X])
+
+
+class TestIFP:
+    def test_tc_via_ifp(self, db):
+        body = or_(
+            AtomF("E", [X, Y]),
+            Exists(Z, and_(AtomF("E", [X, Z]), AtomF("S", [Z, Y]))),
+        )
+        node = IFP("S", (X, Y), body, (Constant(1), Constant(3)))
+        assert evaluate(node, db)
+        assert ifp_relation(node, db) == {(1, 2), (2, 3), (1, 3)}
+
+    def test_nonmonotone_body_allowed(self):
+        db = Database({1, 2}, [])
+        # S(x) :- !S(y) inflationary: everything enters at stage 1.
+        body = Exists(Y, Not(AtomF("S", [Y])))
+        node = IFP("S", (X,), body, (Constant(1),))
+        assert ifp_relation(node, db) == {(1,), (2,)}
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            IFP("S", (X, Y), Top(), (Constant(1),))
+
+    def test_free_variables_of_ifp(self):
+        node = IFP("S", (X,), AtomF("E", [X, Y]), (Z,))
+        assert free_variables(node) == {Y, Z}
+
+
+class TestNormalForms:
+    def test_nnf_pushes_negation(self):
+        f = Not(and_(AtomF("E", [X, Y]), Not(EqF(X, Y))))
+        nnf = to_nnf(f)
+        assert isinstance(nnf, type(or_(Top(), Top())))
+
+    def test_nnf_quantifier_duality(self, db):
+        f = Not(Exists(X, AtomF("E", [X, X])))
+        nnf = to_nnf(f)
+        assert isinstance(nnf, ForAll)
+        assert evaluate(f, db) == evaluate(nnf, db)
+
+    def test_rename_apart_removes_shadowing(self):
+        f = Exists(X, and_(AtomF("E", [X, X]), Exists(X, AtomF("E", [X, X]))))
+        renamed = rename_apart(f)
+        inner_preds = predicates_of(renamed)
+        assert inner_preds == {"E"}
+        # Two distinct bound variables now.
+        assert isinstance(renamed, Exists)
+
+    def test_prenex_preserves_semantics(self, db):
+        f = and_(
+            Exists(X, AtomF("E", [X, Constant(2)])),
+            ForAll(Y, or_(AtomF("E", [Y, Constant(2)]), Not(AtomF("E", [Y, Constant(2)])))),
+        )
+        prefix, matrix = to_prenex(f)
+        rebuilt = matrix
+        for kind, var in reversed(prefix):
+            rebuilt = (Exists if kind == "exists" else ForAll)(var, rebuilt)
+        assert evaluate(f, db) == evaluate(rebuilt, db)
+
+    def test_prenex_rejects_ifp(self):
+        node = IFP("S", (X,), Top(), (Constant(1),))
+        with pytest.raises(TypeError):
+            to_prenex(Exists(X, node))
+
+    def test_dnf_basic(self):
+        matrix = and_(
+            or_(AtomF("A", []), AtomF("B", [])),
+            AtomF("C", []),
+        )
+        dnf = matrix_to_dnf(matrix)
+        assert len(dnf) == 2
+        assert all(any(a.pred == "C" for _, a in d) for d in dnf)
+
+    def test_dnf_drops_contradictions(self):
+        matrix = and_(AtomF("A", []), Not(AtomF("A", [])))
+        assert matrix_to_dnf(matrix) == []
+
+    def test_dnf_top_bottom(self):
+        assert matrix_to_dnf(Top()) == [[]]
+        assert matrix_to_dnf(Bottom()) == []
+
+    def test_flattening_constructors(self):
+        assert and_() == Top()
+        assert or_() == Bottom()
+        assert and_(AtomF("A", [])) == AtomF("A", [])
+        nested = and_(and_(AtomF("A", []), AtomF("B", [])), AtomF("C", []))
+        assert len(nested.subs) == 3

@@ -1,0 +1,158 @@
+"""Tests for the Proposition 1 translations and EF games."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import Database, Relation
+from repro.core.fixpoint import idb_equal
+from repro.core.semantics import inflationary_semantics
+from repro.core.terms import Constant, Variable
+from repro.graphs import generators as gg, graph_to_database
+from repro.logic.ef import ef_equivalent
+from repro.logic.fo import IFP, AtomF, Exists, ForAll, Not, and_, evaluate, or_
+from repro.logic.ifp import ifp_stage_count, simultaneous_ifp
+from repro.logic.translate import (
+    existential_fo_to_program,
+    program_to_ifp,
+    program_to_ifp_definitions,
+    theta_formula,
+)
+from repro.queries import distance_program, pi1, transitive_closure_program
+
+from conftest import random_programs, small_databases
+
+X = Variable("X")
+
+
+class TestProp1Forward:
+    def test_single_idb_ifp_formula(self):
+        program = pi1()
+        db = graph_to_database(gg.path(4))
+        expected = inflationary_semantics(program, db).carrier_value
+        node = program_to_ifp(program, (X,))
+        for element in db.universe:
+            assert evaluate(node, db, {X: element}) == ((element,) in expected)
+
+    def test_single_idb_required(self):
+        with pytest.raises(ValueError):
+            program_to_ifp(distance_program(), (X,))
+
+    def test_simultaneous_ifp_matches_engine_on_distance(self):
+        program = distance_program()
+        db = graph_to_database(gg.path(4))
+        defs = program_to_ifp_definitions(program)
+        assert idb_equal(
+            simultaneous_ifp(db, defs), inflationary_semantics(program, db).idb
+        )
+
+    def test_head_constants_handled(self):
+        from repro import parse_program
+
+        program = parse_program("T(1) :- E(X, Y). T(X) :- E(X, X).")
+        db = Database({1, 2}, [Relation("E", 2, [(2, 2)])])
+        defs = program_to_ifp_definitions(program)
+        assert idb_equal(
+            simultaneous_ifp(db, defs), inflationary_semantics(program, db).idb
+        )
+
+    @given(random_programs(max_rules=2), small_databases(max_size=3))
+    @settings(max_examples=15)
+    def test_property_engine_equals_ifp(self, program, db):
+        defs = program_to_ifp_definitions(program)
+        assert idb_equal(
+            simultaneous_ifp(db, defs), inflationary_semantics(program, db).idb
+        )
+
+
+class TestProp1Backward:
+    def test_roundtrip_through_formula(self):
+        program = pi1()
+        xvars = (Variable("_h0"),)
+        formula = theta_formula(program, "T", xvars)
+        back = existential_fo_to_program(formula, "T", xvars)
+        for graph in (gg.path(4), gg.cycle(3), gg.cycle(4)):
+            db = graph_to_database(graph)
+            assert idb_equal(
+                inflationary_semantics(program, db).idb,
+                inflationary_semantics(back, db).idb,
+            )
+
+    def test_universal_rejected(self):
+        f = ForAll(X, AtomF("E", [X, X]))
+        with pytest.raises(ValueError):
+            existential_fo_to_program(f, "T", ())
+
+    def test_unsatisfiable_formula_gives_inert_program(self):
+        from repro.logic.fo import Bottom
+
+        program = existential_fo_to_program(Bottom(), "T", (X,))
+        db = Database({1, 2}, [])
+        result = inflationary_semantics(program, db)
+        assert len(result.carrier_value) == 0
+
+    def test_free_variable_check(self):
+        f = AtomF("E", [X, Variable("Hidden")])
+        with pytest.raises(ValueError):
+            existential_fo_to_program(f, "T", (X,))
+
+    def test_theta_formula_arity_check(self):
+        with pytest.raises(ValueError):
+            theta_formula(pi1(), "T", (X, Variable("Y")))
+
+
+class TestIFPStageCount:
+    def test_tc_stages_track_path_length(self):
+        program = transitive_closure_program()
+        defs = program_to_ifp_definitions(program)
+        shallow = ifp_stage_count(graph_to_database(gg.path(3)), defs)
+        deep = ifp_stage_count(graph_to_database(gg.path(6)), defs)
+        assert deep > shallow
+
+
+class TestEFGames:
+    def test_rank0_is_partial_isomorphism(self):
+        a = graph_to_database(gg.path(2))
+        b = graph_to_database(gg.path(3))
+        assert ef_equivalent(a, b, 0)
+
+    def test_rank2_distinguishes_edge_presence(self):
+        """'Some edge exists' is exists-x exists-y E(x,y): quantifier rank
+        2, so rank 1 cannot see it but rank 2 can."""
+        a = graph_to_database(gg.path(2))
+        empty = Database({1, 2}, [Relation("E", 2, [])])
+        assert not ef_equivalent(a, empty, 2)
+        assert ef_equivalent(a, empty, 1)
+        assert ef_equivalent(a, empty, 0)
+
+    def test_small_paths_distinguished_at_low_rank(self):
+        a = graph_to_database(gg.path(2))
+        b = graph_to_database(gg.path(4))
+        # Rank 2 can count out-degrees along a short chain.
+        assert not ef_equivalent(a, b, 2)
+
+    def test_long_paths_equivalent_at_low_rank(self):
+        a = graph_to_database(gg.path(5))
+        b = graph_to_database(gg.path(6))
+        assert ef_equivalent(a, b, 1)
+
+    def test_equivalence_is_reflexive_and_symmetric(self):
+        a = graph_to_database(gg.cycle(4))
+        b = graph_to_database(gg.cycle(5))
+        assert ef_equivalent(a, a, 2)
+        assert ef_equivalent(a, b, 1) == ef_equivalent(b, a, 1)
+
+    def test_pinned_parameters(self):
+        a = graph_to_database(gg.path(3))
+        # Pinning endpoint vs middle breaks even rank-0 equivalence when
+        # the pinned atoms differ, rank-1 otherwise.
+        assert not ef_equivalent(a, a, 1, pinned_left=(1,), pinned_right=(2,))
+
+    def test_unary_structures_threshold(self):
+        """Classic: two pure sets are rank-r equivalent iff sizes equal or
+        both >= r."""
+        def pure_set(n):
+            return Database(set(range(n)), [Relation("U", 1, [])])
+
+        assert ef_equivalent(pure_set(3), pure_set(4), 3)
+        assert not ef_equivalent(pure_set(2), pure_set(3), 3)
+        assert ef_equivalent(pure_set(2), pure_set(3), 2)

@@ -1,0 +1,158 @@
+"""Parser tests, including error reporting and the pretty round trip."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.literals import Atom, Eq, Negation, Neq
+from repro.core.parser import ParseError, parse_atom, parse_program, parse_rule
+from repro.core.pretty import format_program, format_rule
+from repro.core.program import Program
+from repro.core.rules import Rule
+from repro.core.terms import Constant, Variable
+
+
+def test_parse_pi1():
+    p = parse_program("T(X) :- E(Y, X), !T(Y).")
+    assert p.idb_predicates == {"T"}
+    assert p.edb_predicates == {"E"}
+    r = p.rules[0]
+    assert isinstance(r.body[1], Negation)
+
+
+def test_not_keyword():
+    r = parse_rule("T(X) :- not T(Y).")
+    assert isinstance(r.body[0], Negation)
+
+
+def test_comparisons():
+    r = parse_rule("T(X) :- X != Y, X = Z.")
+    assert isinstance(r.body[0], Neq)
+    assert isinstance(r.body[1], Eq)
+
+
+def test_constants_and_variables():
+    a = parse_atom("E(X, a, 3, 'Quoted One', _u)")
+    assert a.args == (
+        Variable("X"),
+        Constant("a"),
+        Constant(3),
+        Constant("Quoted One"),
+        Variable("_u"),
+    )
+
+
+def test_negative_integer_constant():
+    a = parse_atom("E(-3)")
+    assert a.args == (Constant(-3),)
+
+
+def test_escaped_quote():
+    a = parse_atom(r"E('it\'s')")
+    assert a.args == (Constant("it's"),)
+
+
+def test_fact_and_empty_body_forms():
+    assert parse_rule("F(1, 2).").body == ()
+    assert parse_rule("F(1, 2) :- .").body == ()
+
+
+def test_zero_arity_atom():
+    a = parse_atom("Flag()")
+    assert a.arity == 0
+
+
+def test_comments_both_styles():
+    p = parse_program(
+        """
+        % percent comment
+        # hash comment
+        T(X) :- E(X, X).
+        """
+    )
+    assert len(p.rules) == 1
+
+
+def test_missing_dot_is_error():
+    with pytest.raises(ParseError):
+        parse_program("T(X) :- E(X, X)")
+
+
+def test_unexpected_character_reports_position():
+    with pytest.raises(ParseError) as info:
+        parse_program("T(X) :- E(X @ X).")
+    assert "line 1" in str(info.value)
+
+
+def test_trailing_input_rejected_for_single_rule():
+    with pytest.raises(ParseError):
+        parse_rule("T(X) :- E(X, X). T(Y).")
+
+
+def test_carrier_passthrough():
+    p = parse_program("A(X) :- E(X, X). B(X) :- A(X).", carrier="B")
+    assert p.carrier == "B"
+
+
+def test_multiline_program():
+    text = """
+    S(X, Y) :- E(X, Y).
+    S(X, Y) :- E(X, Z),
+               S(Z, Y).
+    """
+    assert len(parse_program(text).rules) == 2
+
+
+# ----------------------------------------------------------------------
+# Pretty-printer round trip
+# ----------------------------------------------------------------------
+
+_terms = st.one_of(
+    st.integers(-20, 20),
+    st.sampled_from(["a", "b", "node1", "it's", "Mixed Case", "not"]),
+    st.sampled_from([Variable("X"), Variable("Y"), Variable("_z")]),
+)
+_atoms = st.builds(
+    lambda pred, args: Atom(pred, args),
+    st.sampled_from(["E", "T", "Edge"]),
+    st.lists(_terms, min_size=0, max_size=3),
+)
+
+
+def _consistent_arities(rules):
+    seen = {}
+    for r in rules:
+        atoms = [r.head] + [
+            t.atom if isinstance(t, Negation) else t
+            for t in r.body
+            if isinstance(t, (Atom, Negation))
+        ]
+        for a in atoms:
+            if seen.setdefault(a.pred, a.arity) != a.arity:
+                return False
+    return True
+
+
+_literals = st.one_of(
+    _atoms,
+    st.builds(Negation, _atoms),
+    st.builds(Eq, _terms, _terms),
+    st.builds(Neq, _terms, _terms),
+)
+_rules = st.builds(
+    Rule, st.builds(lambda: Atom("H", [Variable("X")])), st.lists(_literals, max_size=4)
+)
+
+
+@given(st.lists(_rules, min_size=1, max_size=5).filter(_consistent_arities))
+def test_pretty_roundtrip(rules):
+    program = Program(rules)
+    reparsed = parse_program(format_program(program))
+    assert reparsed == program
+
+
+def test_roundtrip_specific_awkward_constants():
+    r = Rule(
+        Atom("H", [Variable("X")]),
+        (Atom("E", ["Mixed Case", "not", -5]), Neq(Variable("X"), Constant("a b"))),
+    )
+    assert parse_rule(format_rule(r)) == r

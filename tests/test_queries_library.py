@@ -1,0 +1,120 @@
+"""Tests for the canonical programs of the paper."""
+
+import pytest
+
+from repro.analysis import ProgramClass, classify
+from repro.core.semantics import inflationary_semantics, naive_least_fixpoint
+from repro.graphs import generators as gg, graph_to_database
+from repro.graphs.algorithms import transitive_closure
+from repro.queries import (
+    distance_program,
+    guarded_toggle_program,
+    pi1,
+    pi2,
+    pi3,
+    reachable_from_source_program,
+    same_generation_program,
+    tc_complement_stratified,
+    toggle_program,
+    transitive_closure_program,
+    win_move_program,
+)
+from repro import Database, Relation
+
+
+def test_pi1_shape():
+    p = pi1()
+    assert p.idb_predicates == {"T"} and p.edb_predicates == {"E"}
+    assert classify(p) is ProgramClass.GENERAL
+
+
+def test_pi2_carrier_and_class():
+    p = pi2()
+    assert p.carrier == "S2"
+    assert p.arity("S2") == 4
+    assert classify(p) is ProgramClass.STRATIFIED
+
+
+def test_pi3_is_positive_tc():
+    p = pi3()
+    assert classify(p) is ProgramClass.POSITIVE
+    db = graph_to_database(gg.path(4))
+    result = naive_least_fixpoint(p, db)
+    assert set(result.idb["S"].tuples) == set(transitive_closure(gg.path(4)))
+
+
+def test_transitive_closure_custom_idb_name():
+    p = transitive_closure_program(idb="TC")
+    assert p.idb_predicates == {"TC"}
+
+
+def test_toggle_has_no_fixpoint_anywhere():
+    from repro.core.satreduction import has_fixpoint
+
+    p = toggle_program()
+    for n in (1, 2, 3):
+        assert not has_fixpoint(p, Database(set(range(n + 1)), []))
+
+
+def test_guarded_toggle_fixpoint_iff_q_full():
+    """Theorem 1's gadget: fixpoint exists iff Q = A (here: Q must make
+    itself full via Q(x) :- Q(x), which any subset satisfies -- so the
+    fixpoints are exactly those with Q full and T empty)."""
+    from repro.core.satreduction import enumerate_fixpoints_sat
+
+    p = guarded_toggle_program()
+    db = Database({1, 2}, [])
+    points = list(enumerate_fixpoints_sat(p, db))
+    assert len(points) == 1
+    only = points[0]
+    assert len(only["Q"]) == 2 and len(only["T"]) == 0
+
+
+def test_pi2_inflationary_runs():
+    db = graph_to_database(gg.path(3))
+    result = inflationary_semantics(pi2(), db)
+    # S1 reaches full TC; S2 holds (TC-pair, non-TC-pair) quadruples seen
+    # during the staged iteration.
+    assert set(result.relation("S1").tuples) == set(transitive_closure(gg.path(3)))
+    assert result.relation("S2").arity == 4
+
+
+def test_win_move_unstratifiable():
+    from repro.core.semantics import is_stratifiable
+
+    assert not is_stratifiable(win_move_program())
+
+
+def test_same_generation():
+    p = same_generation_program()
+    #       1
+    #      / \
+    #     2   3
+    #    /     \
+    #   4       5
+    db = Database(
+        {1, 2, 3, 4, 5},
+        [Relation("P", 2, [(1, 2), (1, 3), (2, 4), (3, 5)])],
+    )
+    result = naive_least_fixpoint(p, db)
+    sg = set(result.idb["SG"].tuples)
+    assert (2, 3) in sg and (4, 5) in sg
+    assert (2, 5) not in sg
+
+
+def test_reachable_from_source():
+    p = reachable_from_source_program()
+    db = Database(
+        {1, 2, 3, 4},
+        [Relation("E", 2, [(1, 2), (2, 3)]), Relation("Src", 1, [(1,)])],
+    )
+    result = naive_least_fixpoint(p, db)
+    assert set(result.idb["REACH"].tuples) == {(1,), (2,), (3,)}
+
+
+def test_tc_complement_classification():
+    assert classify(tc_complement_stratified()) is ProgramClass.STRATIFIED
+
+
+def test_distance_program_carrier():
+    assert distance_program().carrier == "S3"

@@ -1,0 +1,198 @@
+"""Tests for the paper's reductions: Example 1, Lemma 1, Theorem 4, GJS76."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.operator import is_fixpoint
+from repro.core.satreduction import (
+    count_fixpoints_sat,
+    enumerate_fixpoints_sat,
+    has_fixpoint,
+    has_unique_fixpoint,
+)
+from repro.graphs import generators as gg
+from repro.graphs.algorithms import count_3colorings, is_3colorable
+from repro.graphs.digraph import Digraph
+from repro.reductions.coloring import (
+    coloring_database,
+    coloring_to_fixpoint,
+    fixpoint_to_coloring,
+    pi_col,
+)
+from repro.reductions.sat_encoding import (
+    assignment_to_fixpoint,
+    cnf_to_database,
+    database_to_cnf,
+    fixpoint_to_assignment,
+    pi_sat,
+)
+from repro.reductions.sat_to_coloring import decode_coloring, sat_to_coloring
+from repro.reductions.succinct_coloring import binary_database, pi_sc
+from repro.circuits.builders import (
+    complete_graph_circuit,
+    empty_graph_circuit,
+    explicit_graph_circuit,
+    hypercube_circuit,
+)
+from repro.workloads import cnf_gen
+
+
+class TestExample1:
+    """pi_SAT: fixpoints <-> satisfying assignments."""
+
+    def test_structure(self):
+        p = pi_sat()
+        assert p.edb_predicates == {"V", "P", "N"}
+        assert p.idb_predicates == {"S", "Q", "T"}
+
+    def test_database_roundtrip(self):
+        """D(I) -> I(D) preserves the instance up to literal/clause order
+        (databases are sets, so the original ordering is unrecoverable)."""
+        inst = cnf_gen.random_kcnf(4, 6, 3, seed=2)
+        back = database_to_cnf(cnf_to_database(inst))
+        assert set(back.variables) == set(inst.variables)
+        assert {frozenset(c) for c in back.clauses} == {
+            frozenset(c) for c in inst.clauses
+        }
+        assert back.count_models() == inst.count_models()
+
+    def test_assignment_to_fixpoint_is_fixpoint(self):
+        inst = cnf_gen.fixed_instance_small()
+        db = cnf_to_database(inst)
+        assignment = inst.satisfying_assignments()[0]
+        fp = assignment_to_fixpoint(inst, assignment, db)
+        assert is_fixpoint(pi_sat(), db, fp)
+
+    def test_fixpoint_to_assignment_satisfies(self):
+        inst = cnf_gen.fixed_instance_small()
+        db = cnf_to_database(inst)
+        for fp in enumerate_fixpoints_sat(pi_sat(), db):
+            assignment = fixpoint_to_assignment(inst, fp)
+            assert inst.is_satisfied_by(assignment)
+
+    @given(st.integers(0, 6))
+    @settings(max_examples=7)
+    def test_fixpoint_count_equals_model_count(self, seed):
+        inst = cnf_gen.random_kcnf(4, 8, 3, seed=seed)
+        db = cnf_to_database(inst)
+        assert count_fixpoints_sat(pi_sat(), db) == inst.count_models()
+
+    def test_unsat_no_fixpoint(self):
+        db = cnf_to_database(cnf_gen.unsatisfiable_instance())
+        assert not has_fixpoint(pi_sat(), db)
+
+    def test_theorem2_unique_correspondence(self):
+        unique = cnf_gen.unique_model_instance(4, seed=1)
+        assert has_unique_fixpoint(pi_sat(), cnf_to_database(unique))
+        multi = cnf_gen.fixed_instance_small()
+        assert not has_unique_fixpoint(pi_sat(), cnf_to_database(multi))
+
+
+class TestLemma1:
+    """pi_COL: fixpoints <-> proper 3-colorings."""
+
+    def test_existence_tracks_colorability(self):
+        for graph in (gg.complete(4), gg.wheel(5), gg.wheel(6), gg.path(3)):
+            db = coloring_database(graph)
+            assert has_fixpoint(pi_col(), db) == is_3colorable(graph)
+
+    def test_count_equals_colorings(self):
+        triangle = gg.cycle(3).union(gg.cycle(3).reversed())
+        db = coloring_database(triangle)
+        assert count_fixpoints_sat(pi_col(), db) == count_3colorings(triangle) == 6
+
+    def test_coloring_to_fixpoint(self):
+        g = gg.path(3)
+        coloring = {1: "R", 2: "B", 3: "G"}
+        fp = coloring_to_fixpoint(g, coloring)
+        assert is_fixpoint(pi_col(), coloring_database(g), fp)
+
+    def test_coloring_to_fixpoint_rejects_bad_color(self):
+        with pytest.raises(ValueError):
+            coloring_to_fixpoint(gg.path(2), {1: "R", 2: "PURPLE"})
+
+    def test_fixpoint_to_coloring_roundtrip(self):
+        g = gg.path(3)
+        db = coloring_database(g)
+        for fp in enumerate_fixpoints_sat(pi_col(), db, limit=5):
+            coloring = fixpoint_to_coloring(fp)
+            assert set(coloring) == set(g.nodes)
+            for pair in g.undirected_edges():
+                u, v = tuple(pair)
+                assert coloring[u] != coloring[v]
+
+
+class TestTheorem4:
+    """pi_SC: succinct 3-coloring as fixpoint existence over {0, 1}."""
+
+    def test_program_has_no_edb(self):
+        program = pi_sc(empty_graph_circuit(1))
+        assert program.edb_predicates == frozenset()
+
+    def test_positive_and_negative_instances(self):
+        cases = [
+            (empty_graph_circuit(2), True),
+            (hypercube_circuit(2), True),       # C_4: bipartite
+            (complete_graph_circuit(2), False), # K_4: not 3-colorable
+        ]
+        for sg, expected in cases:
+            assert has_fixpoint(pi_sc(sg), binary_database()) == expected
+
+    def test_agrees_with_explicit_expansion(self):
+        k2 = Digraph([(0,), (1,)], [((0,), (1,)), ((1,), (0,))])
+        sg = explicit_graph_circuit(k2, 1)
+        assert has_fixpoint(pi_sc(sg), binary_database()) == is_3colorable(sg.expand())
+
+    def test_fixpoint_count_equals_coloring_count(self):
+        sg = hypercube_circuit(2)
+        count = count_fixpoints_sat(pi_sc(sg), binary_database())
+        assert count == count_3colorings(sg.expand()) == 18
+
+    def test_gate_relations_forced_to_truth_tables(self):
+        sg = hypercube_circuit(2)
+        program = pi_sc(sg)
+        fp = next(enumerate_fixpoints_sat(program, binary_database(), limit=1))
+        out_rel = fp["G%d" % sg.circuit.output_gate]
+        explicit = sg.expand()
+        for u in explicit.nodes:
+            for v in explicit.nodes:
+                assert (tuple(u) + tuple(v) in out_rel) == ((u, v) in explicit.edges)
+
+
+class TestGJS76:
+    def test_sat_iff_colorable(self):
+        for seed in range(4):
+            inst = cnf_gen.random_kcnf(3, 5, 3, seed=seed)
+            graph = sat_to_coloring(inst)
+            assert inst.is_satisfiable() == is_3colorable(graph)
+
+    def test_unsat_instance(self):
+        assert not is_3colorable(sat_to_coloring(cnf_gen.unsatisfiable_instance()))
+
+    def test_short_clauses_padded(self):
+        inst = cnf_gen.CNFInstance(("x1",), ((("x1", True),),))
+        assert is_3colorable(sat_to_coloring(inst))
+
+    def test_wide_clause_rejected(self):
+        inst = cnf_gen.CNFInstance(
+            ("x1", "x2", "x3", "x4"),
+            (tuple(("x%d" % i, True) for i in range(1, 5)),),
+        )
+        with pytest.raises(ValueError):
+            sat_to_coloring(inst)
+
+    def test_decode_coloring_yields_model(self):
+        from repro.graphs.algorithms import enumerate_3colorings
+
+        inst = cnf_gen.fixed_instance_small()
+        graph = sat_to_coloring(inst)
+        coloring = enumerate_3colorings(graph)[0]
+        assignment = decode_coloring(inst, coloring)
+        assert inst.is_satisfied_by(assignment)
+
+    def test_pipeline_sat_to_coloring_to_pi_col(self):
+        """End to end: CNF -> gadget graph -> pi_COL fixpoint existence."""
+        inst = cnf_gen.fixed_instance_small()
+        graph = sat_to_coloring(inst)
+        db = coloring_database(graph)
+        assert has_fixpoint(pi_col(), db) == inst.is_satisfiable()

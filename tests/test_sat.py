@@ -1,0 +1,216 @@
+"""Tests for the SAT substrate: CNF, solver, counting, DIMACS."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sat import (
+    CNF,
+    EnumerationLimitExceeded,
+    Solver,
+    count_models,
+    enumerate_models,
+    forced_literals,
+    has_model,
+    solve,
+    unique_model,
+)
+from repro.sat import dimacs
+from repro.sat.cnf import VarPool
+
+
+def brute_force_models(clauses, n):
+    out = []
+    for bits in itertools.product([False, True], repeat=n):
+        assignment = {i + 1: bits[i] for i in range(n)}
+        if all(
+            any(assignment[abs(l)] == (l > 0) for l in clause)
+            for clause in clauses
+        ):
+            out.append(assignment)
+    return out
+
+
+def cnf_of(clauses, n):
+    cnf = CNF()
+    while cnf.pool.num_vars < n:
+        cnf.pool.fresh()
+    cnf.add_clauses(clauses)
+    return cnf
+
+
+class TestVarPool:
+    def test_fresh_and_labels(self):
+        pool = VarPool()
+        a = pool.fresh("atom-a")
+        b = pool.fresh()
+        assert a == 1 and b == 2
+        assert pool.label(a) == "atom-a"
+        assert pool.label(b) is None
+        assert pool.var("atom-a") == a  # memoised
+        assert pool.labelled_vars() == {"atom-a": a}
+
+    def test_duplicate_label_rejected(self):
+        pool = VarPool()
+        pool.fresh("x")
+        with pytest.raises(ValueError):
+            pool.fresh("x")
+
+
+class TestCNF:
+    def test_tseitin_and(self):
+        cnf = CNF()
+        a, b = cnf.pool.fresh(), cnf.pool.fresh()
+        v = cnf.define_and([a, -b])
+        cnf.add_unit(v)
+        model = solve(cnf)
+        assert model[a] is True and model[b] is False
+
+    def test_tseitin_or(self):
+        cnf = CNF()
+        a, b = cnf.pool.fresh(), cnf.pool.fresh()
+        v = cnf.define_or([a, b])
+        cnf.add_unit(-v)
+        model = solve(cnf)
+        assert model[a] is False and model[b] is False
+
+    def test_empty_junctions(self):
+        cnf = CNF()
+        t = cnf.define_and([])
+        f = cnf.define_or([])
+        model = solve(cnf)
+        assert model[t] is True and model[f] is False
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            CNF().add_clause([0])
+
+
+class TestSolver:
+    def test_empty_formula_sat(self):
+        assert solve(CNF()) == {}
+
+    def test_empty_clause_unsat(self):
+        cnf = CNF()
+        cnf.add_clause([])
+        assert solve(cnf) is None
+
+    def test_unit_conflict(self):
+        cnf = cnf_of([(1,), (-1,)], 1)
+        assert solve(cnf) is None
+
+    def test_assumptions(self):
+        cnf = cnf_of([(1, 2)], 2)
+        assert solve(cnf, assumptions=(-1,))[2] is True
+        assert solve(cnf, assumptions=(-1, -2)) is None
+
+    def test_solver_reusable_after_unsat_assumptions(self):
+        solver = Solver(cnf_of([(1, 2)], 2))
+        assert solver.solve(assumptions=(-1, -2)) is None
+        assert solver.solve() is not None
+
+    def test_tautological_clause_ignored(self):
+        cnf = cnf_of([(1, -1)], 1)
+        assert count_models(cnf) == 2
+
+    def test_pigeonhole_unsat(self):
+        from repro.workloads.cnf_gen import pigeonhole
+
+        inst = pigeonhole(3)
+        ids = {v: i + 1 for i, v in enumerate(inst.variables)}
+        clauses = [
+            tuple(ids[v] if pos else -ids[v] for v, pos in clause)
+            for clause in inst.clauses
+        ]
+        assert solve(cnf_of(clauses, len(ids))) is None
+
+    @given(
+        st.integers(1, 7).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(
+                    st.lists(
+                        st.integers(1, n).map(lambda v: v)
+                        .flatmap(lambda v: st.sampled_from([v, -v])),
+                        min_size=1,
+                        max_size=3,
+                    ).map(tuple),
+                    max_size=15,
+                ),
+            )
+        )
+    )
+    def test_against_truth_tables(self, case):
+        n, clauses = case
+        expected = brute_force_models(clauses, n)
+        cnf = cnf_of(clauses, n)
+        model = solve(cnf)
+        assert (model is not None) == bool(expected)
+        if model is not None:
+            assert all(
+                any(model[abs(l)] == (l > 0) for l in clause)
+                for clause in clauses
+            )
+        assert count_models(cnf) == len(expected)
+
+
+class TestCounting:
+    def test_enumerate_projected(self):
+        cnf = cnf_of([(1, 2)], 3)  # var 3 free
+        full = list(enumerate_models(cnf))
+        proj = list(enumerate_models(cnf, over_vars=[1, 2]))
+        assert len(full) == 6
+        assert len(proj) == 3
+
+    def test_limit(self):
+        cnf = cnf_of([], 4)
+        with pytest.raises(EnumerationLimitExceeded):
+            list(enumerate_models(cnf, limit=3))
+
+    def test_unique_model(self):
+        assert unique_model(cnf_of([(1,), (2,)], 2)) == {1: True, 2: True}
+        assert unique_model(cnf_of([(1, 2)], 2)) is None
+        assert unique_model(cnf_of([(1,), (-1,)], 1)) is None
+
+    def test_has_model(self):
+        assert has_model(cnf_of([(1,)], 1))
+        assert not has_model(cnf_of([(1,), (-1,)], 1))
+
+    def test_forced_literals(self):
+        cnf = cnf_of([(1,), (1, 2), (-3, 2), (3, 2)], 3)
+        forced = forced_literals(cnf, [1, 2, 3])
+        assert forced[1] is True
+        assert forced[2] is True  # (-3 or 2) and (3 or 2) force 2
+        assert forced[3] is None
+
+    def test_forced_literals_unsat_raises(self):
+        with pytest.raises(ValueError):
+            forced_literals(cnf_of([(1,), (-1,)], 1), [1])
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = cnf_of([(1, -2), (2, 3)], 3)
+        text = dimacs.dumps(cnf, comment="hello\nworld")
+        back = dimacs.loads(text)
+        assert back.clauses == cnf.clauses
+        assert back.num_vars == 3
+
+    def test_multiline_clause(self):
+        back = dimacs.loads("p cnf 2 1\n1\n-2 0\n")
+        assert back.clauses == [(1, -2)]
+
+    def test_declared_vars_respected(self):
+        back = dimacs.loads("p cnf 5 1\n1 0\n")
+        assert back.num_vars == 5
+
+    def test_unterminated_clause_rejected(self):
+        with pytest.raises(ValueError):
+            dimacs.loads("p cnf 1 1\n1")
+
+    def test_file_roundtrip(self, tmp_path):
+        cnf = cnf_of([(1, 2)], 2)
+        path = tmp_path / "f.cnf"
+        dimacs.write_file(cnf, path)
+        assert dimacs.read_file(path).clauses == cnf.clauses

@@ -1,0 +1,62 @@
+"""Tests for brute-force fixpoint enumeration."""
+
+import pytest
+
+from repro import Database, Relation, parse_program
+from repro.core.semantics import (
+    EnumerationLimitError,
+    all_fixpoints,
+    count_fixpoints,
+)
+from repro.graphs import generators as gg, graph_to_database
+
+
+def test_pi1_path_unique(pi1_program, path4_db):
+    points = all_fixpoints(pi1_program, path4_db)
+    assert len(points) == 1
+    assert set(points[0]["T"].tuples) == {(2,), (4,)}
+
+
+def test_pi1_odd_cycle_none(pi1_program, cycle3_db):
+    assert count_fixpoints(pi1_program, cycle3_db) == 0
+
+
+def test_pi1_even_cycle_two(pi1_program, cycle4_db):
+    points = all_fixpoints(pi1_program, cycle4_db)
+    values = {tuple(sorted(p["T"].tuples)) for p in points}
+    assert values == {((1,), (3,)), ((2,), (4,))}
+
+
+def test_tautological_rule_many_fixpoints():
+    """S(x) :- S(x): every subset of the universe is a fixpoint."""
+    p = parse_program("S(X) :- S(X).")
+    db = Database({1, 2, 3}, [])
+    assert count_fixpoints(p, db) == 8
+
+
+def test_limit_guard():
+    p = parse_program("S(X, Y) :- S(X, Y).")
+    db = Database(set(range(10)), [])  # 100 derivable atoms
+    with pytest.raises(EnumerationLimitError):
+        count_fixpoints(p, db, limit_atoms=20)
+
+
+def test_positive_program_single_fixpoint_question(tc_program, path4_db):
+    """TC has multiple fixpoints (any transitively closed superset of E
+    restricted to derivable pairs); the least one is the semantics."""
+    points = all_fixpoints(tc_program, path4_db)
+    assert len(points) >= 1
+    from repro.core.semantics import naive_least_fixpoint
+    least = naive_least_fixpoint(tc_program, path4_db).idb
+    sizes = [len(p["S"]) for p in points]
+    assert min(sizes) == len(least["S"])
+
+
+def test_matches_sat_enumeration_on_small_cases(pi1_program):
+    from repro.core.satreduction import count_fixpoints_sat
+
+    for g in (gg.path(3), gg.cycle(3), gg.cycle(4), gg.disjoint_cycles(2)):
+        db = graph_to_database(g)
+        assert count_fixpoints(pi1_program, db) == count_fixpoints_sat(
+            pi1_program, db
+        )

@@ -1,0 +1,97 @@
+"""Tests for Inflationary DATALOG (Section 4)."""
+
+import pytest
+from hypothesis import given
+
+from repro import Database, Relation, parse_program
+from repro.core.fixpoint import idb_leq
+from repro.core.operator import is_fixpoint, theta
+from repro.core.semantics import inflationary_semantics, theta_stage
+
+from conftest import random_programs, small_databases
+
+
+def test_toggle_gives_full_relation():
+    """Paper: 'For the program T(x) :- !T(y) we have Theta^inf = A'."""
+    p = parse_program("T(X) :- !T(Y).")
+    db = Database({1, 2, 3}, [])
+    result = inflationary_semantics(p, db)
+    assert set(result.carrier_value.tuples) == {(1,), (2,), (3,)}
+    assert result.rounds == 1
+
+
+def test_pi1_gives_nodes_with_predecessor(pi1_program, path4_db):
+    """Paper: 'Theta^inf = {x : exists y E(y, x)}' for pi_1."""
+    result = inflationary_semantics(pi1_program, path4_db)
+    assert set(result.carrier_value.tuples) == {(2,), (3,), (4,)}
+    assert result.rounds == 1
+
+
+def test_result_need_not_be_a_fixpoint():
+    """Section 4's warning: Theta^inf may fail to be a fixpoint of Theta."""
+    p = parse_program("T(X) :- !T(Y).")
+    db = Database({1, 2}, [])
+    result = inflationary_semantics(p, db)
+    assert not is_fixpoint(p, db, result.idb)
+    assert len(theta(p, db, result.idb)["T"]) == 0
+
+
+def test_coincides_with_lfp_on_tc():
+    from repro.core.semantics import naive_least_fixpoint
+    from repro.graphs import generators as gg, graph_to_database
+
+    tc = parse_program("S(X, Y) :- E(X, Y). S(X, Y) :- E(X, Z), S(Z, Y).")
+    db = graph_to_database(gg.random_digraph(6, 0.3, seed=11))
+    assert inflationary_semantics(tc, db).idb == naive_least_fixpoint(tc, db).idb
+
+
+def test_trace_is_increasing(pi1_program, cycle4_db):
+    result = inflationary_semantics(pi1_program, cycle4_db, keep_trace=True)
+    for earlier, later in zip(result.trace, result.trace[1:]):
+        assert idb_leq(earlier, later)
+
+
+def test_stage_function_matches_trace(tc_program, path4_db):
+    result = inflationary_semantics(tc_program, path4_db, keep_trace=True)
+    for n, snapshot in enumerate(result.trace):
+        assert theta_stage(tc_program, path4_db, n) == snapshot
+
+
+def test_stage_rejects_negative():
+    p = parse_program("T(X) :- !T(Y).")
+    with pytest.raises(ValueError):
+        theta_stage(p, Database({1}, []), -1)
+
+
+def test_distance_program_on_path():
+    """Proposition 2, small concrete check: D(1,3, 1,2) fails (2 > 1) and
+    D(1,2, 1,3) holds (1 <= 2) on the path 1->2->3."""
+    from repro.queries import distance_program
+    from repro.graphs import generators as gg, graph_to_database
+
+    db = graph_to_database(gg.path(3))
+    carrier = inflationary_semantics(distance_program(), db).carrier_value
+    assert (1, 2, 1, 3) in carrier
+    assert (1, 3, 1, 2) not in carrier
+    assert (1, 3, 3, 1) in carrier  # no path 3 -> 1 at all
+
+
+@given(random_programs(), small_databases())
+def test_total_on_all_programs_and_bounded(program, db):
+    """Inflationary semantics is defined on every program and stabilises
+    within the |A|^k bound (the paper's polynomial-time argument)."""
+    result = inflationary_semantics(program, db)
+    n = len(db.universe)
+    bound = sum(n ** program.arity(p) for p in program.idb_predicates)
+    assert result.rounds <= bound
+    # Applying one more inflationary step changes nothing.
+    from repro.core.semantics import inflationary_step
+
+    assert inflationary_step(program, db, result.idb) == result.idb
+
+
+@given(random_programs(), small_databases())
+def test_stages_are_increasing(program, db):
+    result = inflationary_semantics(program, db, keep_trace=True)
+    for earlier, later in zip(result.trace, result.trace[1:]):
+        assert idb_leq(earlier, later)

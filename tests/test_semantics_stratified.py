@@ -1,0 +1,121 @@
+"""Tests for stratified semantics and stratification."""
+
+import pytest
+
+from repro import Database, Relation, parse_program
+from repro.core.semantics import (
+    NotStratifiableError,
+    is_stratifiable,
+    stratified_semantics,
+    stratify,
+)
+from repro.graphs import generators as gg, graph_to_database
+from repro.graphs.algorithms import transitive_closure
+from repro.queries import distance_program, tc_complement_stratified
+
+
+def test_stratify_tc_complement():
+    p = tc_complement_stratified()
+    strata = stratify(p)
+    assert strata == [frozenset({"TC"}), frozenset({"NOTC"})]
+
+
+def test_unstratifiable_programs_detected(pi1_program):
+    assert not is_stratifiable(pi1_program)
+    with pytest.raises(NotStratifiableError):
+        stratified_semantics(pi1_program, graph_to_database(gg.path(3)))
+
+
+def test_positive_program_is_single_stratum(tc_program):
+    assert stratify(tc_program) == [frozenset({"S"})]
+
+
+def test_tc_complement_value(path4_db):
+    result = stratified_semantics(tc_complement_stratified(), path4_db)
+    tc = transitive_closure(gg.path(4))
+    expected = {
+        (a, b)
+        for a in range(1, 5)
+        for b in range(1, 5)
+        if (a, b) not in tc
+    }
+    assert set(result.carrier_value.tuples) == expected
+
+
+def test_distance_program_is_stratified_but_means_tc_pairs(path4_db):
+    """Proposition 2's punchline: viewed as a stratified program, the
+    distance program computes TC x not-TC, not the distance query."""
+    program = distance_program()
+    assert is_stratifiable(program)
+    result = stratified_semantics(program, path4_db)
+    tc = transitive_closure(gg.path(4))
+    nodes = range(1, 5)
+    expected = {
+        (x, y, xs, ys)
+        for (x, y) in tc
+        for xs in nodes
+        for ys in nodes
+        if (xs, ys) not in tc
+    }
+    assert set(result.relation("S3").tuples) == expected
+    assert result.stratum_of("S1") == 0
+    assert result.stratum_of("S3") == 1
+
+
+def test_stratum_of_unknown_raises(path4_db):
+    result = stratified_semantics(tc_complement_stratified(), path4_db)
+    with pytest.raises(KeyError):
+        result.stratum_of("NOPE")
+
+
+def test_three_strata_chain():
+    p = parse_program(
+        """
+        A(X) :- E(X, Y).
+        B(X) :- !A(X).
+        C(X) :- !B(X), A(X).
+        """,
+        carrier="C",
+    )
+    strata = stratify(p)
+    assert strata == [frozenset({"A"}), frozenset({"B"}), frozenset({"C"})]
+    db = Database({1, 2, 3}, [Relation("E", 2, [(1, 2)])])
+    result = stratified_semantics(p, db)
+    assert set(result.relation("A").tuples) == {(1,)}
+    assert set(result.relation("B").tuples) == {(2,), (3,)}
+    assert set(result.relation("C").tuples) == {(1,)}
+
+
+def test_negation_within_same_scc_rejected():
+    p = parse_program(
+        """
+        A(X) :- B(X).
+        B(X) :- !A(X), E(X, Y).
+        """,
+        carrier="A",
+    )
+    assert not is_stratifiable(p)
+
+
+def test_positive_recursion_inside_stratum_is_fine(path4_db):
+    p = parse_program(
+        """
+        TC(X, Y) :- E(X, Y).
+        TC(X, Y) :- E(X, Z), TC(Z, Y).
+        FAR(X, Y) :- TC(X, Y), !E(X, Y).
+        """,
+        carrier="FAR",
+    )
+    result = stratified_semantics(p, path4_db)
+    assert set(result.carrier_value.tuples) == {(1, 3), (1, 4), (2, 4)}
+
+
+def test_agrees_with_semipositive_engine_when_applicable(path4_db):
+    """On semipositive programs, stratified and least-fixpoint semantics
+    coincide (a single stratum)."""
+    from repro.core.semantics import naive_least_fixpoint
+
+    p = parse_program("T(X) :- E(X, Y), !E(Y, X).")
+    a = naive_least_fixpoint(p, path4_db)
+    b = stratified_semantics(p, path4_db)
+    assert a.idb == b.idb

@@ -1,0 +1,92 @@
+"""Tests for the well-founded semantics extension."""
+
+import pytest
+from hypothesis import given
+
+from repro import Database, Relation, parse_program
+from repro.core.semantics import (
+    stratified_semantics,
+    well_founded_semantics,
+)
+from repro.graphs import generators as gg, graph_to_database
+from repro.queries import pi1, tc_complement_stratified, win_move_program
+
+from conftest import random_programs, small_databases
+
+
+def test_pi1_on_path_is_total(pi1_program, path4_db):
+    """On L_4 the WFM is total and equals the unique fixpoint {2, 4}."""
+    result = well_founded_semantics(pi1_program, path4_db)
+    assert result.is_total
+    assert set(result.true_idb()["T"].tuples) == {(2,), (4,)}
+
+
+def test_pi1_on_odd_cycle_all_undefined(pi1_program, cycle3_db):
+    """On C_3 there is no fixpoint; the WFM leaves every atom undefined."""
+    result = well_founded_semantics(pi1_program, cycle3_db)
+    assert not result.is_total
+    assert set(result.undefined_idb()["T"].tuples) == {(1,), (2,), (3,)}
+    assert len(result.true) == 0
+
+
+def test_pi1_on_even_cycle_undefined(pi1_program, cycle4_db):
+    """Two incomparable fixpoints: the WFM commits to neither."""
+    result = well_founded_semantics(pi1_program, cycle4_db)
+    assert not result.is_total
+    assert len(result.undefined) == 4
+
+
+def test_win_move_game_classification():
+    """Win-move on a path: alternating win/lose from the dead end."""
+    program = win_move_program()
+    db = graph_to_database(gg.path(4))  # 1->2->3->4, node 4 has no move
+    result = well_founded_semantics(program, db)
+    assert result.is_total
+    # Node 4 is lost (no moves), 3 wins (move to 4), 2 loses, 1 wins.
+    assert set(result.true_idb()["WIN"].tuples) == {(3,), (1,)}
+
+
+def test_win_move_mixed_graph():
+    """A cycle with a tail: cycle atoms undefined, tail decided."""
+    program = win_move_program()
+    edges = [(1, 2), (2, 1), (2, 3)]  # 1 <-> 2, 2 -> 3 (dead end)
+    db = Database({1, 2, 3}, [Relation("E", 2, edges)])
+    result = well_founded_semantics(program, db)
+    # 3 is lost; 2 wins by moving to 3; 1... moves only to 2 (won) => 1 loses.
+    assert ("WIN", (2,)) in result.true
+    assert ("WIN", (1,)) not in result.true
+    assert ("WIN", (1,)) not in result.undefined  # decidedly false
+    assert result.is_total
+
+
+def test_total_wfm_matches_stratified_on_stratified_programs(path4_db):
+    """For stratified programs the WFM is total and equals the stratified
+    (perfect) model — the classical theorem, checked concretely."""
+    program = tc_complement_stratified()
+    wf = well_founded_semantics(program, path4_db)
+    strat = stratified_semantics(program, path4_db)
+    assert wf.is_total
+    assert wf.true_idb() == strat.idb
+
+
+def test_rounds_reported(pi1_program, path4_db):
+    result = well_founded_semantics(pi1_program, path4_db)
+    assert result.rounds >= 1
+
+
+@given(random_programs(), small_databases())
+def test_total_wfm_is_a_fixpoint_of_theta(program, db):
+    """A *total* well-founded model is a stable model, and stable models
+    are supported — i.e. genuine fixpoints of Theta.
+
+    (The converse containments do NOT hold: Theta-fixpoints are supported
+    models, which may include self-supporting atoms the WFS calls false,
+    e.g. ``S(x) :- S(x)`` with ``S = {1}``.  The theorem tested here is
+    the correct bridge between the two notions.)
+    """
+    from repro.core.grounding import ground_program
+
+    gp = ground_program(program, db)
+    wf = well_founded_semantics(program, db, ground=gp)
+    if wf.is_total:
+        assert gp.is_fixpoint(set(wf.true))

@@ -1,0 +1,43 @@
+"""Tests for program/database validation and safety analysis."""
+
+import pytest
+
+from repro import Database, Relation, parse_program
+from repro.core.validation import ValidationError, check_database, safety_report
+
+
+def test_safety_report_flags_paper_rules():
+    p = parse_program("T(Z) :- !Q(U), !T(W). Q(X) :- Q(X).")
+    report = safety_report(p)
+    assert not report.is_safe
+    # The toggle rule has three unrestricted variables.
+    (rule, vars_), = [v for v in report.violations]
+    assert {v.name for v in vars_} == {"Z", "U", "W"}
+    assert "unsafe" in str(report)
+
+
+def test_safety_report_clean_program(tc_program):
+    report = safety_report(tc_program)
+    assert report.is_safe
+    assert str(report) == "all rules are range-restricted"
+
+
+def test_check_database_accepts_matching(pi1_program, path4_db):
+    check_database(pi1_program, path4_db)  # should not raise
+
+
+def test_check_database_missing_edb(pi1_program):
+    with pytest.raises(ValidationError, match="missing EDB relation 'E'"):
+        check_database(pi1_program, Database({1}, []))
+
+
+def test_check_database_edb_arity_mismatch(pi1_program):
+    db = Database({1}, [Relation("E", 3, [])])
+    with pytest.raises(ValidationError, match="arity"):
+        check_database(pi1_program, db)
+
+
+def test_check_database_idb_arity_mismatch(pi1_program, path4_db):
+    loaded = path4_db.with_relation(Relation("T", 2, []))
+    with pytest.raises(ValidationError, match="IDB relation T"):
+        check_database(pi1_program, loaded)

@@ -1,0 +1,77 @@
+"""Tests for the CNF workload generators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads.cnf_gen import (
+    CNFInstance,
+    fixed_instance_small,
+    parity_chain,
+    pigeonhole,
+    random_kcnf,
+    unique_model_instance,
+    unsatisfiable_instance,
+)
+
+
+def test_fixed_instance_has_two_models():
+    inst = fixed_instance_small()
+    assert inst.count_models() == 2
+
+
+def test_unknown_variable_rejected():
+    with pytest.raises(ValueError):
+        CNFInstance(("x1",), ((("zzz", True),),))
+
+
+def test_unsatisfiable_instance():
+    inst = unsatisfiable_instance()
+    assert not inst.is_satisfiable()
+    assert inst.count_models() == 0
+
+
+def test_random_kcnf_shape_and_determinism():
+    a = random_kcnf(5, 9, 3, seed=4)
+    b = random_kcnf(5, 9, 3, seed=4)
+    assert a == b
+    assert a.num_variables == 5 and a.num_clauses == 9
+    assert all(len(c) == 3 for c in a.clauses)
+    assert all(len({v for v, _ in c}) == 3 for c in a.clauses)
+
+
+def test_random_kcnf_width_check():
+    with pytest.raises(ValueError):
+        random_kcnf(2, 1, 3, seed=0)
+
+
+@given(st.integers(2, 6), st.integers(0, 5))
+def test_unique_model_instances_have_one_model(n, seed):
+    inst = unique_model_instance(n, seed=seed)
+    assert inst.count_models() == 1
+
+
+def test_unique_model_not_all_units():
+    inst = unique_model_instance(4, seed=0)
+    assert any(len(c) > 1 for c in inst.clauses)
+
+
+@given(st.integers(1, 5), st.booleans())
+def test_parity_chain_model_count(n, parity):
+    inst = parity_chain(n, parity)
+    assert inst.count_models() == 2 ** (n - 1) if n > 1 else inst.count_models() in (0, 1)
+
+
+def test_parity_chain_models_have_right_parity():
+    inst = parity_chain(3, True)
+    for assignment in inst.satisfying_assignments():
+        assert sum(assignment.values()) % 2 == 1
+
+
+def test_pigeonhole_unsat_small():
+    assert not pigeonhole(2).is_satisfiable()
+
+
+def test_is_satisfied_by():
+    inst = fixed_instance_small()
+    assert inst.is_satisfied_by({"x1": True, "x2": False, "x3": True})
+    assert not inst.is_satisfied_by({"x1": False, "x2": False, "x3": False})
