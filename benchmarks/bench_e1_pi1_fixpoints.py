@@ -6,7 +6,7 @@ pairwise-incomparable fixpoints (and no least fixpoint) on G_n.
 
 from repro.bench import experiment
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_e1_pi1_fixpoint_structure(benchmark):

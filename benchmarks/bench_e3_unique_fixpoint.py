@@ -2,7 +2,7 @@
 
 from repro.bench import experiment
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_e3_unique_fixpoint(benchmark):

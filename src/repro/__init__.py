@@ -9,6 +9,26 @@ least-fixpoint decision), the paper's reductions (pi_SAT, pi_COL, succinct
 remedy: Inflationary DATALOG, together with stratified and well-founded
 semantics for comparison.
 
+Evaluation is plan-compiled: :mod:`repro.core.planning` compiles every
+rule once per (program, database) into a ``RulePlan`` — fixed join order,
+precomputed index key columns, an interleaved negation/comparison filter
+schedule, and a static active-domain completion order — and all fixpoint
+engines (naive, semi-naive, incremental, inflationary, stratified, and
+the well-founded grounder) execute those plans with hash indexes cached
+on the immutable :class:`~repro.db.relation.Relation` objects, so
+relations unchanged between rounds are never re-indexed.  The public
+``theta``/``evaluate_rule`` API compiles transparently;
+``theta_legacy``/``evaluate_rule_legacy`` keep the original
+re-plan-every-round path as a property-tested baseline (see
+``python -m repro.bench perf``).
+
+Testing conventions: ``python -m pytest`` from the repository root runs
+``tests/`` only (``testpaths`` in pyproject.toml); the benchmark suite is
+opt-in via ``python -m pytest benchmarks``.  Shared test helpers are
+importable modules (``tests/strategies.py``, ``benchmarks/bench_utils.py``),
+never conftest members — importing from ``conftest`` resolves to whichever
+conftest was loaded first and breaks mixed-directory collection.
+
 Quickstart::
 
     from repro import parse_program, Database, Relation

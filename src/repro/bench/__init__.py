@@ -1,6 +1,7 @@
-"""Experiment harness and the E1–E9 registry."""
+"""Experiment harness and the E1–E9 (+ perf) registry."""
 
 from . import experiments  # noqa: F401  (registers the experiments)
+from . import perf  # noqa: F401  (registers the planner perf experiment)
 from .harness import Experiment, Table, all_experiments, experiment
 
 __all__ = ["Experiment", "Table", "all_experiments", "experiment"]

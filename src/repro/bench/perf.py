@@ -1,0 +1,107 @@
+"""Perf experiment: the planner's compiled path vs. the legacy evaluator.
+
+Registered in the same harness as E1–E9 so ``python -m repro.bench perf``
+prints a table of wall-clock times per engine.  The ``ok`` column asserts
+what actually matters for correctness — compiled and legacy produce the
+same valuations — while the timing columns document the win; speedups
+vary by machine, so they are reported, not asserted.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Tuple
+
+from ..core.fixpoint import idb_equal, idb_union
+from ..core.operator import IDBMap, empty_idb, theta_legacy
+from ..core.semantics import (
+    inflationary_semantics,
+    naive_least_fixpoint,
+    seminaive_least_fixpoint,
+)
+from ..db.database import Database
+from ..core.program import Program
+from ..graphs import generators as gg
+from ..graphs.encode import graph_to_database
+from ..queries import distance_program, pi1, transitive_closure_program
+from .harness import Table, register
+
+
+def _legacy_least_fixpoint(program: Program, db: Database) -> IDBMap:
+    current = empty_idb(program)
+    while True:
+        nxt = theta_legacy(program, db, current)
+        if idb_equal(nxt, current):
+            return current
+        current = nxt
+
+
+def _legacy_inflationary(program: Program, db: Database) -> IDBMap:
+    current = empty_idb(program)
+    while True:
+        nxt = idb_union([current, theta_legacy(program, db, current)])
+        if idb_equal(nxt, current):
+            return current
+        current = nxt
+
+
+def _timed(fn: Callable[[], IDBMap]) -> Tuple[IDBMap, float]:
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+@register(
+    "perf",
+    "PERF: compiled rule plans vs. legacy per-round evaluation",
+    "The planner (compile once per program+db, cache indexes on relations) "
+    "computes exactly the valuations of the legacy evaluator, faster.",
+)
+def run_perf() -> List[Table]:
+    n = 24
+    path_db = graph_to_database(gg.path(n))
+    # The distance program's unsafe rules complete variables over the whole
+    # universe — work the planner cannot skip — so it runs on a smaller
+    # instance to keep the experiment quick.
+    small_db = graph_to_database(gg.path(8))
+
+    cases = [
+        (
+            "naive/TC",
+            lambda: naive_least_fixpoint(transitive_closure_program(), path_db).idb,
+            lambda: _legacy_least_fixpoint(transitive_closure_program(), path_db),
+        ),
+        (
+            "seminaive/TC",
+            lambda: seminaive_least_fixpoint(
+                transitive_closure_program(), path_db
+            ).idb,
+            lambda: _legacy_least_fixpoint(transitive_closure_program(), path_db),
+        ),
+        (
+            "inflationary/pi_1",
+            lambda: inflationary_semantics(pi1(), path_db).idb,
+            lambda: _legacy_inflationary(pi1(), path_db),
+        ),
+        (
+            "inflationary/distance (L_8)",
+            lambda: inflationary_semantics(distance_program(), small_db).idb,
+            lambda: _legacy_inflationary(distance_program(), small_db),
+        ),
+    ]
+
+    table = Table(
+        "compiled vs legacy on L_%d (unless noted)" % n,
+        ["engine/program", "compiled s", "legacy s", "speedup", "equal", "ok"],
+    )
+    for name, compiled_fn, legacy_fn in cases:
+        compiled, compiled_s = _timed(compiled_fn)
+        legacy, legacy_s = _timed(legacy_fn)
+        equal = idb_equal(compiled, legacy)
+        speedup = legacy_s / compiled_s if compiled_s > 0 else float("inf")
+        table.add(name, compiled_s, legacy_s, "%.1fx" % speedup, equal, equal)
+    table.note(
+        "timings are informational (machine-dependent); the ok column "
+        "asserts result equality only"
+    )
+    return [table]

@@ -17,23 +17,26 @@ brute-force-enumeration engines.
 
 Grounding binds variables through positive EDB atoms first (joins) and
 completes the remaining variables over the universe, pruning with EDB
-negations and comparisons as soon as their variables are bound — mirroring
-:mod:`repro.core.operator` but leaving IDB literals symbolic.
+negations and comparisons as soon as their variables are bound.  Since the
+planner refactor this is done by compiling the *EDB projection* of each
+rule (its positive EDB atoms plus EDB-only filters, under a pseudo-head
+carrying every rule variable) with :mod:`repro.core.planning` and
+enumerating the plan's bindings — IDB literals stay symbolic, and the
+cached relation indexes are shared with the fixpoint engines.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..db.database import Database
-from ..db.index import HashIndex
 from ..db.relation import Relation
 from .literals import Atom, Eq, Negation, Neq
-from .operator import Binding, _filter_holds, _match_tuple
+from .planning import compile_rule, solve_plan
 from .program import Program
 from .rules import Rule
-from .terms import Constant, Variable
 
 GroundAtom = Tuple[str, Tuple[Any, ...]]
 """A ground IDB atom, keyed as ``(predicate, value_tuple)``."""
@@ -138,6 +141,27 @@ class GroundProgram:
         }
 
 
+@lru_cache(maxsize=4096)
+def _edb_projection(rule: Rule, idb: FrozenSet[str]) -> Rule:
+    """The EDB projection of ``rule``, as a pseudo-rule.
+
+    It keeps the positive EDB atoms and EDB-only filters, under a
+    synthetic head listing *every* rule variable so the plan's
+    active-domain completion covers variables that occur only in IDB
+    literals (which stay symbolic).  The plan itself is compiled per
+    grounding call so join ordering sees the database's cardinalities.
+    """
+    edb_body = [
+        t
+        for t in rule.body
+        if (isinstance(t, Atom) and t.pred not in idb)
+        or isinstance(t, (Eq, Neq))
+        or (isinstance(t, Negation) and t.atom.pred not in idb)
+    ]
+    all_vars = sorted(rule.variables(), key=lambda v: v.name)
+    return Rule(Atom("__grounding__", tuple(all_vars)), edb_body)
+
+
 def ground_rule_instances(
     rule: Rule, program: Program, interp: Database
 ) -> List[GroundRule]:
@@ -146,86 +170,14 @@ def ground_rule_instances(
     EDB literals and comparisons are solved away during instantiation;
     the returned instances carry only IDB literals.
     """
-    universe = tuple(sorted(interp.universe, key=repr))
     idb = program.idb_predicates
-
-    edb_positives = [a for a in rule.positive_atoms() if a.pred not in idb]
     idb_positives = [a for a in rule.positive_atoms() if a.pred in idb]
-    edb_filters = [
-        t
-        for t in rule.body
-        if isinstance(t, (Eq, Neq))
-        or (isinstance(t, Negation) and t.atom.pred not in idb)
-    ]
     idb_negatives = [
         t for t in rule.body if isinstance(t, Negation) and t.atom.pred in idb
     ]
 
-    arities = program.arities
-    bound: Set[Variable] = set()
-    subs: List[Binding] = [{}]
-
-    def apply_ready_filters() -> None:
-        nonlocal subs, edb_filters
-        ready = [f for f in edb_filters if f.variables() <= bound]
-        rest = [f for f in edb_filters if f.variables() - bound]
-        for f in ready:
-            subs = [s for s in subs if _filter_holds(f, s, interp, arities)]
-        edb_filters = rest
-
-    # Bind through EDB positives (joins), most-connected first.
-    remaining = edb_positives[:]
-    while remaining and subs:
-        remaining.sort(
-            key=lambda a: (
-                -len(a.variables() & bound),
-                len(interp.get(a.pred) or ()),
-            )
-        )
-        atom = remaining.pop(0)
-        rel = interp.get(atom.pred) or Relation.empty(atom.pred, atom.arity)
-        key_positions = [
-            i
-            for i, arg in enumerate(atom.args)
-            if isinstance(arg, Constant) or arg in bound
-        ]
-        index = HashIndex(rel, key_positions)
-        new_subs: List[Binding] = []
-        for sub in subs:
-            key = tuple(
-                atom.args[i].value
-                if isinstance(atom.args[i], Constant)
-                else sub[atom.args[i]]
-                for i in key_positions
-            )
-            for t in index.lookup(key):
-                extended = _match_tuple(atom, t, sub)
-                if extended is not None:
-                    new_subs.append(extended)
-        subs = new_subs
-        bound |= atom.variables()
-        apply_ready_filters()
-
-    # Active-domain completion for every remaining rule variable.
-    unbound = sorted(rule.variables() - bound, key=lambda v: v.name)
-    while unbound and subs:
-        def readiness(v: Variable) -> int:
-            would = bound | {v}
-            return sum(1 for f in edb_filters if f.variables() <= would)
-
-        unbound.sort(key=lambda v: (-readiness(v), v.name))
-        var = unbound.pop(0)
-        extended_subs: List[Binding] = []
-        for s in subs:
-            for value in universe:
-                ns = dict(s)
-                ns[var] = value
-                extended_subs.append(ns)
-        subs = extended_subs
-        bound.add(var)
-        apply_ready_filters()
-
-    assert not edb_filters or not subs
+    plan = compile_rule(_edb_projection(rule, idb), db=interp)
+    subs = solve_plan(plan, interp)
 
     out: List[GroundRule] = []
     for sub in subs:

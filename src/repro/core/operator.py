@@ -17,16 +17,26 @@ meaningful.  Evaluation binds variables through positive literals first
 (index-backed joins), interleaves comparison/negation filters as soon as
 their variables are bound, and completes any remaining variables over the
 universe one variable at a time so that filters prune early.
+
+Since the planner refactor, rule evaluation is split in two:
+:mod:`repro.core.planning` compiles each rule once into a
+:class:`~repro.core.planning.RulePlan` (fixed join order, key columns,
+filter schedule) which is then executed every round with indexes cached
+on the immutable relations.  ``evaluate_rule``/``theta`` below compile
+transparently; ``evaluate_rule_legacy``/``theta_legacy`` keep the
+original re-plan-every-call path as the tested-equivalent baseline.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..db.database import Database
 from ..db.index import HashIndex
 from ..db.relation import Relation
 from .literals import Atom, Comparison, Eq, Literal, Negation, Neq
+from .planning import ProgramPlan, compile_program, compile_rule, execute_plan
 from .program import Program
 from .rules import Rule
 from .terms import Constant, Variable
@@ -135,12 +145,41 @@ def _filter_holds(lit: Literal, sub: Binding, interp: Database, arities: Dict[st
     raise TypeError("not a filter literal: %r" % (lit,))
 
 
+@lru_cache(maxsize=4096)
+def _plan_for_rule(rule: Rule):
+    """Rule plans for the compile-and-run wrapper, cached per rule."""
+    return compile_rule(rule)
+
+
+@lru_cache(maxsize=512)
+def _plan_for_program(program: Program) -> ProgramPlan:
+    """Program plans for callers of :func:`theta` that did not compile."""
+    return compile_program(program)
+
+
 def evaluate_rule(rule: Rule, interp: Database, arities: Optional[Dict[str, int]] = None) -> Set[Tuple]:
     """One-step consequences of a single rule on an interpretation.
 
     Returns the set of ground head tuples derivable from ``interp`` (which
     must contain values for every predicate the body mentions; missing
     relations are treated as empty).
+
+    This is a thin compile-and-run wrapper over
+    :mod:`repro.core.planning`: the rule is compiled to a
+    :class:`~repro.core.planning.RulePlan` once (plans are cached per
+    rule) and executed with relation-cached indexes.  ``arities`` is kept
+    for API compatibility; plans read arities off the atoms themselves.
+    The pre-planner evaluator survives as :func:`evaluate_rule_legacy`
+    and is property-tested equivalent.
+    """
+    return execute_plan(_plan_for_rule(rule), interp)
+
+
+def evaluate_rule_legacy(rule: Rule, interp: Database, arities: Optional[Dict[str, int]] = None) -> Set[Tuple]:
+    """The original per-round evaluator: re-plans and re-indexes each call.
+
+    Kept as the reference implementation for the planner's property tests
+    and as the baseline of ``benchmarks/bench_planner.py``.
     """
     arities = arities or {}
     universe = tuple(sorted(interp.universe, key=repr))
@@ -217,18 +256,39 @@ def evaluate_rule(rule: Rule, interp: Database, arities: Optional[Dict[str, int]
 # ----------------------------------------------------------------------
 
 
-def theta(program: Program, db: Database, idb: Optional[IDBMap] = None) -> IDBMap:
+def theta(
+    program: Program,
+    db: Database,
+    idb: Optional[IDBMap] = None,
+    plan: Optional[ProgramPlan] = None,
+) -> IDBMap:
     """Apply the consequence operator once: ``Theta(idb)``.
 
     ``db`` supplies the EDB relations (and, alternatively, current IDB
     values); ``idb`` overrides IDB values when given.  The result maps every
     IDB predicate to its *new* value — the paper's non-cumulative operator.
+
+    Engines that iterate Theta compile the program once with
+    :func:`repro.core.planning.compile_program` and pass the ``plan``;
+    without one, a per-program cached plan is used, so even ad-hoc calls
+    avoid re-planning.
     """
+    interp = as_interpretation(program, db, idb)
+    if plan is None:
+        plan = _plan_for_program(program)
+    derived = plan.consequences(interp)
+    return {
+        p: Relation(p, program.arity(p), tuples) for p, tuples in derived.items()
+    }
+
+
+def theta_legacy(program: Program, db: Database, idb: Optional[IDBMap] = None) -> IDBMap:
+    """``theta`` via the pre-planner evaluator (reference/baseline path)."""
     interp = as_interpretation(program, db, idb)
     arities = program.arities
     derived: Dict[str, Set[Tuple]] = {p: set() for p in program.idb_predicates}
     for rule in program.rules:
-        derived[rule.head.pred] |= evaluate_rule(rule, interp, arities)
+        derived[rule.head.pred] |= evaluate_rule_legacy(rule, interp, arities)
     return {
         p: Relation(p, program.arity(p), tuples) for p, tuples in derived.items()
     }

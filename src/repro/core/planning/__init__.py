@@ -1,0 +1,40 @@
+"""Rule compilation: plan once, execute every round.
+
+The legacy evaluator (:func:`repro.core.operator.evaluate_rule_legacy`)
+re-planned the join order and rebuilt a fresh hash index per body atom on
+*every* fixpoint round, making each round pay O(|relation|) in index
+construction alone.  This package splits that work:
+
+* :func:`compile_rule` / :func:`compile_program` run once per
+  (program, database) and produce immutable :class:`RulePlan` /
+  :class:`ProgramPlan` objects — fixed join order, precomputed key
+  columns, lowered filters, and a static active-domain completion
+  schedule;
+* :func:`execute_plan` / :meth:`ProgramPlan.consequences` interpret a
+  plan against an interpretation, fetching indexes through
+  :meth:`repro.db.relation.Relation.index_on`, which caches each index
+  on the (immutable) relation so unchanged relations are never
+  re-indexed across rounds.
+
+All fixpoint engines (naive, semi-naive, incremental, inflationary,
+stratified, well-founded grounding) evaluate through plans; the public
+``evaluate_rule``/``theta`` API compiles transparently and is unchanged.
+"""
+
+from .compiler import ProgramPlan, compile_program, compile_rule, compile_rules
+from .executor import execute_plan, solve_plan
+from .plan import AtomStep, CmpFilter, DomainStep, NegFilter, RulePlan
+
+__all__ = [
+    "AtomStep",
+    "CmpFilter",
+    "DomainStep",
+    "NegFilter",
+    "ProgramPlan",
+    "RulePlan",
+    "compile_program",
+    "compile_rule",
+    "compile_rules",
+    "execute_plan",
+    "solve_plan",
+]

@@ -1,0 +1,114 @@
+"""Execute compiled rule plans against an interpretation.
+
+The executor is the per-round hot path of every fixpoint engine: it
+interprets a :class:`~repro.core.planning.plan.RulePlan` with no AST
+inspection, no join-order decisions, and — through
+:meth:`repro.db.relation.Relation.index_on` — no index construction for
+relations that already served a lookup on the same key columns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ...db.database import Database
+from ..terms import Variable
+from .plan import CmpFilter, Filter, NegFilter, RulePlan
+
+Binding = Dict[Variable, Any]
+
+
+def _value(getter, sub: Binding) -> Any:
+    is_const, payload = getter
+    return payload if is_const else sub[payload]
+
+
+def _filter_holds(f: Filter, sub: Binding, interp: Database) -> bool:
+    if isinstance(f, NegFilter):
+        rel = interp.get(f.pred)
+        if rel is None:
+            return True
+        return tuple(_value(g, sub) for g in f.getters) not in rel
+    if isinstance(f, CmpFilter):
+        same = _value(f.left, sub) == _value(f.right, sub)
+        return same if f.equal else not same
+    raise TypeError("not a compiled filter: %r" % (f,))
+
+
+def solve_plan(plan: RulePlan, interp: Database) -> List[Binding]:
+    """All total variable bindings satisfying the plan's body.
+
+    This is the executor core; :func:`execute_plan` projects the result
+    onto the head while the grounder consumes the bindings directly.
+    """
+    subs: List[Binding] = [{}]
+    for f in plan.pre_filters:
+        if not _filter_holds(f, {}, interp):
+            return []
+
+    for step in plan.steps:
+        if not subs:
+            return []
+        rel = interp.get(step.pred)
+        if rel is None or not rel:
+            return []
+        lookup = rel.index_on(step.key_columns).lookup
+        key_spec = step.key
+        new_vars = step.new_vars
+        new_subs: List[Binding] = []
+        append = new_subs.append
+        for sub in subs:
+            key = tuple(
+                payload if is_const else sub[payload]
+                for is_const, payload in key_spec
+            )
+            for t in lookup(key):
+                extended = dict(sub)
+                ok = True
+                for var, first, duplicates in new_vars:
+                    value = t[first]
+                    for d in duplicates:
+                        if t[d] != value:
+                            ok = False
+                            break
+                    if not ok:
+                        break
+                    extended[var] = value
+                if ok:
+                    append(extended)
+        subs = new_subs
+        for f in step.filters:
+            subs = [s for s in subs if _filter_holds(f, s, interp)]
+            if not subs:
+                return []
+
+    if plan.completions and subs:
+        universe = tuple(sorted(interp.universe, key=repr))
+        for step in plan.completions:
+            var = step.var
+            extended_subs: List[Binding] = []
+            append = extended_subs.append
+            for s in subs:
+                for value in universe:
+                    ns = dict(s)
+                    ns[var] = value
+                    append(ns)
+            subs = extended_subs
+            for f in step.filters:
+                subs = [s for s in subs if _filter_holds(f, s, interp)]
+            if not subs:
+                return []
+
+    return subs
+
+
+def execute_plan(plan: RulePlan, interp: Database) -> Set[Tuple]:
+    """The set of ground head tuples the plan derives from ``interp``."""
+    subs = solve_plan(plan, interp)
+    if not subs:
+        return set()
+    head = plan.head
+    return {
+        tuple(payload if is_const else sub[payload] for is_const, payload in head)
+        for sub in subs
+    }

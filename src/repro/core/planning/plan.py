@@ -1,0 +1,110 @@
+"""Compiled rule plans: the data the executor interprets.
+
+A :class:`RulePlan` freezes every decision the legacy ``evaluate_rule``
+used to re-make on each fixpoint round:
+
+* the join order over the positive body atoms (``steps``);
+* per atom, the index key columns (constants and already-bound
+  variables) and the *binding spec* for the remaining columns — which
+  new variables get bound where, and which tuple positions must agree
+  because of repeated variables like ``E(X, X)``;
+* the filter schedule: each negation/comparison literal is attached to
+  the earliest point at which all of its variables are bound, so filters
+  prune partial bindings as soon as possible;
+* the active-domain completion order for variables bound by no positive
+  atom (the paper's unsafe rules), again with filters interleaved.
+
+Filters and head/key accessors are pre-lowered to *getters* — pairs
+``(is_const, payload)`` where the payload is either a constant value or
+a :class:`~repro.core.terms.Variable` to look up in the binding — so the
+executor's inner loops never touch the AST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple, Union
+
+from ..rules import Rule
+from ..terms import Variable
+
+Getter = Tuple[bool, Any]
+"""``(True, value)`` for a constant, ``(False, Variable)`` for a lookup."""
+
+
+@dataclass(frozen=True)
+class NegFilter:
+    """A negated atom ``!pred(args)``; holds when the ground tuple is absent."""
+
+    pred: str
+    arity: int
+    getters: Tuple[Getter, ...]
+
+
+@dataclass(frozen=True)
+class CmpFilter:
+    """An (in)equality ``left = right`` / ``left != right``."""
+
+    equal: bool
+    left: Getter
+    right: Getter
+
+
+Filter = Union[NegFilter, CmpFilter]
+
+
+@dataclass(frozen=True)
+class AtomStep:
+    """One join step: probe ``pred``'s index and extend the bindings.
+
+    ``new_vars`` entries are ``(var, first_position, duplicate_positions)``;
+    duplicate positions must carry the same value as the first (repeated
+    variables within the atom).
+    """
+
+    pred: str
+    arity: int
+    key_columns: Tuple[int, ...]
+    key: Tuple[Getter, ...]
+    new_vars: Tuple[Tuple[Variable, int, Tuple[int, ...]], ...]
+    filters: Tuple[Filter, ...]
+
+
+@dataclass(frozen=True)
+class DomainStep:
+    """Bind one completion variable to every universe element."""
+
+    var: Variable
+    filters: Tuple[Filter, ...]
+
+
+@dataclass(frozen=True)
+class RulePlan:
+    """A fully compiled rule, ready for repeated execution."""
+
+    rule: Rule
+    head_pred: str
+    head: Tuple[Getter, ...]
+    pre_filters: Tuple[Filter, ...]
+    steps: Tuple[AtomStep, ...]
+    completions: Tuple[DomainStep, ...]
+
+    @property
+    def needs_universe(self) -> bool:
+        """True when the plan completes some variable over the universe."""
+        return bool(self.completions)
+
+    def describe(self) -> str:
+        """A human-readable sketch of the plan (for debugging/benchmarks)."""
+        parts = ["plan for %s" % self.rule]
+        for s in self.steps:
+            parts.append(
+                "  join %s/%d on columns %s (+%d filters)"
+                % (s.pred, s.arity, list(s.key_columns), len(s.filters))
+            )
+        for c in self.completions:
+            parts.append(
+                "  complete %s over universe (+%d filters)"
+                % (c.var, len(c.filters))
+            )
+        return "\n".join(parts)

@@ -27,7 +27,8 @@ from typing import Dict, List, Optional, Set, Tuple
 from ...db.database import Database
 from ...db.relation import Relation
 from ..literals import Atom
-from ..operator import evaluate_rule, empty_idb, theta
+from ..operator import empty_idb, theta
+from ..planning import compile_program, compile_rule, execute_plan
 from ..program import Program
 from ..rules import Rule
 from .base import EvaluationResult
@@ -63,14 +64,18 @@ def incremental_inflationary_semantics(
     only instantiations involving freshly added tuples.
     """
     idb_preds = program.idb_predicates
-    arities = program.arities
-    delta_arities = dict(arities)
-    for pred in idb_preds:
-        delta_arities[_delta_name(pred)] = program.arity(pred)
 
     variants: List[Rule] = []
     for rule in program.rules:
         variants.extend(_delta_variants(rule, idb_preds))
+
+    # Plans are compiled once up front: the full program for round 1, the
+    # delta variants (joined through the small deltas first) for the rest.
+    delta_preds = frozenset(_delta_name(p) for p in idb_preds)
+    program_plan = compile_program(program, db)
+    variant_plans = [
+        compile_rule(r, db=db, small_preds=delta_preds) for r in variants
+    ]
 
     n = len(db.universe)
     bound = sum(n ** program.arity(p) for p in idb_preds) + 1
@@ -78,7 +83,7 @@ def incremental_inflationary_semantics(
 
     # Round 1 is a full Theta application (it alone can use rules with no
     # positive IDB literal, and it seeds the deltas).
-    current = theta(program, db, empty_idb(program))
+    current = theta(program, db, empty_idb(program), plan=program_plan)
     delta = dict(current)
     rounds = 0 if not any(delta[p] for p in idb_preds) else 1
 
@@ -88,8 +93,8 @@ def incremental_inflationary_semantics(
             + [delta[p].with_name(_delta_name(p)) for p in idb_preds]
         )
         derived: Dict[str, Set[Tuple]] = {p: set() for p in idb_preds}
-        for variant in variants:
-            derived[variant.head.pred] |= evaluate_rule(variant, interp, delta_arities)
+        for plan in variant_plans:
+            derived[plan.head_pred] |= execute_plan(plan, interp)
         delta = {
             p: Relation(p, program.arity(p), derived[p] - current[p].tuples)
             for p in idb_preds

@@ -29,13 +29,19 @@ from typing import List, Optional
 from ...db.database import Database
 from ..fixpoint import idb_equal, idb_union
 from ..operator import IDBMap, empty_idb, theta
+from ..planning import ProgramPlan, compile_program
 from ..program import Program
 from .base import EvaluationResult
 
 
-def inflationary_step(program: Program, db: Database, current: IDBMap) -> IDBMap:
+def inflationary_step(
+    program: Program,
+    db: Database,
+    current: IDBMap,
+    plan: Optional[ProgramPlan] = None,
+) -> IDBMap:
     """One application of the inflationary operator ``S |-> S u Theta(S)``."""
-    return idb_union([current, theta(program, db, current)])
+    return idb_union([current, theta(program, db, current, plan=plan)])
 
 
 def inflationary_semantics(
@@ -54,11 +60,12 @@ def inflationary_semantics(
     bound = sum(n ** program.arity(p) for p in program.idb_predicates) + 1
     limit = bound if max_rounds is None else max_rounds
 
+    plan = compile_program(program, db)  # compiled once, executed per round
     current = empty_idb(program)
     trace: Optional[List[IDBMap]] = [dict(current)] if keep_trace else None
     rounds = 0
     while rounds < limit:
-        nxt = inflationary_step(program, db, current)
+        nxt = inflationary_step(program, db, current, plan=plan)
         if idb_equal(nxt, current):
             break
         rounds += 1
@@ -83,7 +90,8 @@ def theta_stage(program: Program, db: Database, n: int) -> IDBMap:
     """The paper's stage ``Theta^n`` (``n >= 0``; stage 0 is empty)."""
     if n < 0:
         raise ValueError("stage must be non-negative")
+    plan = compile_program(program, db)
     current = empty_idb(program)
     for _ in range(n):
-        current = inflationary_step(program, db, current)
+        current = inflationary_step(program, db, current, plan=plan)
     return current

@@ -17,6 +17,7 @@ from typing import Optional
 from ...db.database import Database
 from ..fixpoint import idb_equal
 from ..operator import empty_idb, theta
+from ..planning import compile_program
 from ..program import Program
 from .base import EvaluationResult, SemanticsError, is_semipositive
 
@@ -57,11 +58,12 @@ def naive_least_fixpoint(
     bound = sum(n ** program.arity(p) for p in program.idb_predicates) + 1
     limit = bound if max_rounds is None else max_rounds
 
+    plan = compile_program(program, db)  # compiled once, executed per round
     current = empty_idb(program)
     trace = [dict(current)] if keep_trace else None
     rounds = 0
     while rounds < limit:
-        nxt = theta(program, db, current)
+        nxt = theta(program, db, current, plan=plan)
         rounds += 1
         if keep_trace:
             trace.append(dict(nxt))

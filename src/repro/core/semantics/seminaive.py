@@ -18,7 +18,8 @@ from typing import Dict, List, Optional, Tuple
 from ...db.database import Database
 from ...db.relation import Relation
 from ..literals import Atom
-from ..operator import empty_idb, evaluate_rule
+from ..operator import empty_idb
+from ..planning import compile_rule, execute_plan
 from ..program import Program
 from ..rules import Rule
 from .base import EvaluationResult, SemanticsError, is_semipositive
@@ -67,15 +68,20 @@ def seminaive_least_fixpoint(
             "semi-naive evaluation requires a (semi)positive program"
         )
     idb_preds = program.idb_predicates
-    arities = program.arities
-    delta_arities = dict(arities)
-    for p in idb_preds:
-        delta_arities[_delta_name(p)] = program.arity(p)
 
     base_rules = [r for r in program.rules if not _delta_variants(r, idb_preds)]
     recursive_variants: List[Rule] = []
     for r in program.rules:
         recursive_variants.extend(_delta_variants(r, idb_preds))
+
+    # Compile every rule once — the delta variants included — rather than
+    # re-planning per round; the planner joins through the (small) deltas
+    # first.
+    delta_preds = frozenset(_delta_name(p) for p in idb_preds)
+    base_plans = [compile_rule(r, db=db) for r in base_rules]
+    variant_plans = [
+        compile_rule(r, db=db, small_preds=delta_preds) for r in recursive_variants
+    ]
 
     n = len(db.universe)
     bound = sum(n ** program.arity(p) for p in idb_preds) + 1
@@ -87,8 +93,8 @@ def seminaive_least_fixpoint(
     # Round 1: rules without IDB body atoms seed the iteration.
     interp = db.with_relations(current.values())
     derived: Dict[str, set] = {p: set() for p in idb_preds}
-    for rule in base_rules:
-        derived[rule.head.pred] |= evaluate_rule(rule, interp, arities)
+    for plan in base_plans:
+        derived[plan.head_pred] |= execute_plan(plan, interp)
     delta = {
         p: Relation(p, program.arity(p), derived[p] - set(current[p].tuples))
         for p in idb_preds
@@ -104,8 +110,8 @@ def seminaive_least_fixpoint(
             + [delta[p].with_name(_delta_name(p)) for p in idb_preds]
         )
         derived = {p: set() for p in idb_preds}
-        for rule in recursive_variants:
-            derived[rule.head.pred] |= evaluate_rule(rule, interp, delta_arities)
+        for plan in variant_plans:
+            derived[plan.head_pred] |= execute_plan(plan, interp)
         delta = {
             p: Relation(p, program.arity(p), derived[p] - set(current[p].tuples))
             for p in idb_preds

@@ -71,7 +71,10 @@ def stratified_semantics(
 
     Each stratum's rules form a program that is semipositive *given* the
     lower strata (their relations enter the working database as facts), so
-    the semi-naive least-fixpoint engine applies.
+    the semi-naive least-fixpoint engine applies.  Each stratum's rules
+    are compiled once by that engine (see :mod:`repro.core.planning`), and
+    the lower strata's frozen relations keep their cached indexes across
+    all upper-stratum rounds.
 
     Raises
     ------

@@ -36,7 +36,7 @@ class Relation:
         If some tuple's length differs from ``arity``.
     """
 
-    __slots__ = ("name", "arity", "_tuples", "_hash")
+    __slots__ = ("name", "arity", "_tuples", "_hash", "_index_cache")
 
     def __init__(self, name: str, arity: int, tuples: Iterable[Tup] = ()) -> None:
         if arity < 0:
@@ -82,6 +82,29 @@ class Relation:
         """The underlying frozenset of tuples."""
         return self._tuples
 
+    def index_on(self, columns) -> "HashIndex":
+        """A hash index on the given key columns, cached on this relation.
+
+        Because relations are immutable, an index built once is valid for
+        the relation's whole lifetime; the cache (keyed by the column
+        tuple) lets every fixpoint round after the first reuse the indexes
+        of unchanged relations instead of rebuilding them.  Derived
+        relations (``union``, ``difference``, ...) are new objects and so
+        start with an empty cache — there is no stale-index hazard.
+        """
+        from .index import HashIndex
+
+        cols = tuple(columns)
+        try:
+            cache = self._index_cache
+        except AttributeError:
+            cache = {}
+            self._index_cache = cache
+        index = cache.get(cols)
+        if index is None:
+            index = cache[cols] = HashIndex(self, cols)
+        return index
+
     def __contains__(self, item: Tup) -> bool:
         return tuple(item) in self._tuples
 
@@ -117,7 +140,13 @@ class Relation:
     # ------------------------------------------------------------------
 
     def with_name(self, name: str) -> "Relation":
-        """Return the same relation under a different symbol."""
+        """Return the same relation under a different symbol.
+
+        Returns ``self`` when the name already matches, so round-to-round
+        renames of unchanged relations keep their cached indexes.
+        """
+        if name == self.name:
+            return self
         return Relation(name, self.arity, self._tuples)
 
     def with_tuples(self, tuples: Iterable[Tup]) -> "Relation":
@@ -129,8 +158,15 @@ class Relation:
         return Relation(self.name, self.arity, self._tuples.union(tuples))
 
     def union(self, other: "Relation") -> "Relation":
-        """Set union; the operand must have the same arity."""
+        """Set union; the operand must have the same arity.
+
+        Returns ``self`` unchanged when the operand adds nothing, so a
+        converged IDB relation keeps its cached indexes across the
+        remaining fixpoint rounds.
+        """
         self._check_compatible(other, "union")
+        if not other._tuples or other._tuples <= self._tuples:
+            return self
         return Relation(self.name, self.arity, self._tuples | other._tuples)
 
     def intersection(self, other: "Relation") -> "Relation":
@@ -139,8 +175,14 @@ class Relation:
         return Relation(self.name, self.arity, self._tuples & other._tuples)
 
     def difference(self, other: "Relation") -> "Relation":
-        """Set difference; the operand must have the same arity."""
+        """Set difference; the operand must have the same arity.
+
+        Returns ``self`` unchanged (cached indexes intact) when the
+        operand removes nothing.
+        """
         self._check_compatible(other, "difference")
+        if not other._tuples or self._tuples.isdisjoint(other._tuples):
+            return self
         return Relation(self.name, self.arity, self._tuples - other._tuples)
 
     def complement(self, universe: Iterable[Any]) -> "Relation":

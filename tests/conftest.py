@@ -1,15 +1,19 @@
-"""Shared fixtures and hypothesis strategies for the test-suite."""
+"""Shared fixtures and the hypothesis profile for the test-suite.
+
+Hypothesis strategies live in :mod:`strategies` (``tests/strategies.py``)
+— import them with ``from strategies import ...``, never ``from conftest
+import ...`` (conftest imports are ambiguous across collected directories;
+``benchmarks/conftest.py`` used to shadow this module and break collection
+from the repo root).
+"""
 
 from __future__ import annotations
 
 import pytest
-from hypothesis import HealthCheck, settings, strategies as st
+from hypothesis import HealthCheck, settings
 
-from repro import Database, Relation, parse_program
-from repro.core.literals import Atom, Eq, Negation, Neq
+from repro import Database, parse_program
 from repro.core.program import Program
-from repro.core.rules import Rule
-from repro.core.terms import Constant, Variable
 from repro.graphs import generators as gg
 from repro.graphs.encode import graph_to_database
 
@@ -55,103 +59,3 @@ def pi1_program() -> Program:
 def tc_program() -> Program:
     """Transitive closure (pure DATALOG)."""
     return parse_program("S(X, Y) :- E(X, Y). S(X, Y) :- E(X, Z), S(Z, Y).")
-
-
-# ----------------------------------------------------------------------
-# Hypothesis strategies: small random programs and databases
-# ----------------------------------------------------------------------
-
-_VARS = [Variable(n) for n in ("X", "Y", "Z")]
-_IDB_UNARY = "T"
-_IDB_BINARY = "S"
-_EDB = "E"
-
-
-@st.composite
-def small_databases(draw, max_size: int = 4):
-    """A database over {1..n} with a binary EDB relation E."""
-    n = draw(st.integers(min_value=1, max_value=max_size))
-    universe = list(range(1, n + 1))
-    pairs = st.tuples(st.sampled_from(universe), st.sampled_from(universe))
-    edges = draw(st.lists(pairs, max_size=8))
-    return Database(universe, [Relation(_EDB, 2, edges)])
-
-
-def _atom_strategy(pred: str, arity: int):
-    return st.builds(
-        lambda args: Atom(pred, args),
-        st.tuples(*([st.sampled_from(_VARS)] * arity)),
-    )
-
-
-@st.composite
-def body_literals(draw, allow_idb_negation: bool):
-    """One random body literal over E/2, T/1, S/2 and X, Y, Z."""
-    kind = draw(
-        st.sampled_from(
-            ["edb", "idb1", "idb2", "neg_edb", "eq", "neq"]
-            + (["neg_idb1", "neg_idb2"] if allow_idb_negation else [])
-        )
-    )
-    if kind == "edb":
-        return draw(_atom_strategy(_EDB, 2))
-    if kind == "idb1":
-        return draw(_atom_strategy(_IDB_UNARY, 1))
-    if kind == "idb2":
-        return draw(_atom_strategy(_IDB_BINARY, 2))
-    if kind == "neg_edb":
-        return Negation(draw(_atom_strategy(_EDB, 2)))
-    if kind == "neg_idb1":
-        return Negation(draw(_atom_strategy(_IDB_UNARY, 1)))
-    if kind == "neg_idb2":
-        return Negation(draw(_atom_strategy(_IDB_BINARY, 2)))
-    left, right = draw(st.tuples(st.sampled_from(_VARS), st.sampled_from(_VARS)))
-    return Eq(left, right) if kind == "eq" else Neq(left, right)
-
-
-@st.composite
-def random_programs(draw, allow_idb_negation: bool = True, max_rules: int = 4):
-    """A random program with IDB predicates T/1 and S/2 over EDB E/2.
-
-    Both IDB predicates always head at least one rule, so arities are
-    well-defined and every engine can run.
-    """
-    rules = []
-    for pred, arity in ((_IDB_UNARY, 1), (_IDB_BINARY, 2)):
-        n_rules = draw(st.integers(min_value=1, max_value=max_rules))
-        for _ in range(n_rules):
-            head = draw(_atom_strategy(pred, arity))
-            body = draw(
-                st.lists(body_literals(allow_idb_negation), min_size=0, max_size=3)
-            )
-            rules.append(Rule(head, body))
-    return Program(rules, carrier=_IDB_UNARY)
-
-
-@st.composite
-def positive_programs(draw, max_rules: int = 4):
-    """A random negation-free program (paper's DATALOG class)."""
-    rules = []
-    for pred, arity in ((_IDB_UNARY, 1), (_IDB_BINARY, 2)):
-        n_rules = draw(st.integers(min_value=1, max_value=max_rules))
-        for _ in range(n_rules):
-            head = draw(_atom_strategy(pred, arity))
-            literal_kinds = st.sampled_from(["edb", "idb1", "idb2", "eq"])
-
-            def make(kind, a=None):
-                if kind == "edb":
-                    return draw(_atom_strategy(_EDB, 2))
-                if kind == "idb1":
-                    return draw(_atom_strategy(_IDB_UNARY, 1))
-                if kind == "idb2":
-                    return draw(_atom_strategy(_IDB_BINARY, 2))
-                left = draw(st.sampled_from(_VARS))
-                right = draw(st.sampled_from(_VARS))
-                return Eq(left, right)
-
-            body = [
-                make(draw(literal_kinds))
-                for _ in range(draw(st.integers(min_value=0, max_value=3)))
-            ]
-            rules.append(Rule(head, body))
-    return Program(rules, carrier=_IDB_UNARY)

@@ -19,7 +19,7 @@ from repro.logic.fo import evaluate
 from repro.logic.translate import fixpoint_formula
 from repro.queries import pi1, toggle_program, transitive_closure_program
 
-from conftest import random_programs, small_databases
+from strategies import random_programs, small_databases
 
 
 def all_unary_subsets(universe):

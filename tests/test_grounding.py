@@ -8,7 +8,7 @@ from repro.core.grounding import GroundRule, ground_program
 from repro.core.operator import empty_idb, theta
 from repro.core.satreduction import FixpointSAT
 
-from conftest import random_programs, small_databases
+from strategies import random_programs, small_databases
 
 
 def test_pi1_grounding(pi1_program, path4_db):

@@ -12,7 +12,7 @@ from repro.core.semantics import (
 from repro.graphs import generators as gg, graph_to_database
 from repro.queries import distance_program, pi1, transitive_closure_program
 
-from conftest import random_programs, small_databases
+from strategies import random_programs, small_databases
 
 
 def test_tc_agrees(tc_program, path4_db):

@@ -40,3 +40,65 @@ def test_keys():
     rel = Relation("E", 2, [(1, 2), (1, 3), (2, 3)])
     idx = HashIndex(rel, [0])
     assert set(idx.keys()) == {(1,), (2,)}
+
+
+# ----------------------------------------------------------------------
+# Index caching on Relation (regression tests for the planner refactor)
+# ----------------------------------------------------------------------
+
+
+def test_index_on_reuses_cached_index():
+    rel = Relation("E", 2, [(1, 2), (1, 3), (2, 3)])
+    first = rel.index_on((0,))
+    assert rel.index_on((0,)) is first  # object identity: no rebuild
+    assert rel.index_on([0]) is first  # column spec is normalised
+    assert sorted(first.lookup((1,))) == [(1, 2), (1, 3)]
+
+
+def test_index_on_distinct_columns_are_distinct_indexes():
+    rel = Relation("E", 2, [(1, 2), (2, 3)])
+    by_first = rel.index_on((0,))
+    by_second = rel.index_on((1,))
+    assert by_first is not by_second
+    assert by_second.lookup((2,)) == [(1, 2)]
+    assert rel.index_on(()) is rel.index_on(())
+
+
+def test_derived_relations_get_fresh_indexes():
+    """No stale-index bug when the IDB grows between rounds.
+
+    union/add/difference/with_tuples return *new* Relation objects, so
+    the grown relation must not inherit the old (smaller) index.
+    """
+    old = Relation("T", 1, [(1,)])
+    old_index = old.index_on((0,))
+    assert old_index.lookup((2,)) == []
+
+    grown = old.union(Relation("T", 1, [(2,)]))
+    assert grown is not old
+    grown_index = grown.index_on((0,))
+    assert grown_index is not old_index
+    assert grown_index.lookup((2,)) == [(2,)]
+    # The old relation's cached index is untouched.
+    assert old.index_on((0,)) is old_index
+    assert old.index_on((0,)).lookup((2,)) == []
+
+    shrunk = grown.difference(Relation("T", 1, [(1,)]))
+    assert shrunk.index_on((0,)).lookup((1,)) == []
+
+
+def test_with_name_keeps_cache_only_when_name_unchanged():
+    rel = Relation("T", 1, [(1,)])
+    index = rel.index_on((0,))
+    assert rel.with_name("T") is rel  # cache (and object) survive
+    renamed = rel.with_name("T__delta")
+    assert renamed is not rel
+    assert renamed.index_on((0,)) is not index  # fresh object, fresh cache
+
+
+def test_index_cache_does_not_affect_equality_or_hash():
+    plain = Relation("E", 2, [(1, 2)])
+    indexed = Relation("E", 2, [(1, 2)])
+    indexed.index_on((0,))
+    assert plain == indexed
+    assert hash(plain) == hash(indexed)

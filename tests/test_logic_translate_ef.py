@@ -19,7 +19,7 @@ from repro.logic.translate import (
 )
 from repro.queries import distance_program, pi1, transitive_closure_program
 
-from conftest import random_programs, small_databases
+from strategies import random_programs, small_databases
 
 X = Variable("X")
 

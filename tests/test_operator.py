@@ -15,7 +15,7 @@ from repro.core.operator import (
 )
 from repro.core.parser import parse_rule
 
-from conftest import random_programs, small_databases
+from strategies import random_programs, small_databases
 
 
 class TestEvaluateRule:

@@ -21,7 +21,7 @@ from repro.core.satreduction import (
 from repro.core.semantics import all_fixpoints, count_fixpoints, naive_least_fixpoint
 from repro.graphs import generators as gg, graph_to_database
 
-from conftest import random_programs, small_databases
+from strategies import random_programs, small_databases
 
 
 class TestEncoding:

@@ -8,7 +8,7 @@ from repro.core.fixpoint import idb_leq
 from repro.core.operator import is_fixpoint, theta
 from repro.core.semantics import inflationary_semantics, theta_stage
 
-from conftest import random_programs, small_databases
+from strategies import random_programs, small_databases
 
 
 def test_toggle_gives_full_relation():

@@ -13,7 +13,7 @@ from repro.core.semantics import (
     seminaive_least_fixpoint,
 )
 
-from conftest import positive_programs, small_databases
+from strategies import positive_programs, small_databases
 
 
 class TestNaive:

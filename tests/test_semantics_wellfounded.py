@@ -11,7 +11,7 @@ from repro.core.semantics import (
 from repro.graphs import generators as gg, graph_to_database
 from repro.queries import pi1, tc_complement_stratified, win_move_program
 
-from conftest import random_programs, small_databases
+from strategies import random_programs, small_databases
 
 
 def test_pi1_on_path_is_total(pi1_program, path4_db):
