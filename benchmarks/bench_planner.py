@@ -1,28 +1,38 @@
-"""Compiled rule plans vs. the legacy per-round evaluator.
+"""Compiled rule plans vs. the legacy per-round evaluator and dict executor.
 
 Pairs of benchmarks over identical work: the ``*_compiled`` variant runs
-the engines as shipped (plans compiled once per run, indexes cached on
-relations), the ``*_legacy`` variant iterates ``theta_legacy``, which
-re-plans the join order and rebuilds every hash index on every round —
-the seed behaviour.  Every measured run also asserts the two paths agree,
-so the speedup numbers are for provably identical results.
+the engines as shipped (plans compiled once per run, set-at-a-time batch
+execution, indexes cached on relations), the ``*_legacy`` variant
+iterates ``theta_legacy``, which re-plans the join order and rebuilds
+every hash index on every round — the seed behaviour — and the
+``*_dict_executor`` variants drive the *same compiled plans* through the
+PR-1 tuple-at-a-time dict executor, isolating the batch executor's win
+(anti-join negation, complement-based completion).  Every measured run
+also asserts the paths agree, so the speedup numbers are for provably
+identical results.
 """
 
 import pytest
 
+from repro.bench.perf import inflationary_with_executor
 from repro.core.fixpoint import idb_equal, idb_union
 from repro.core.operator import empty_idb, theta, theta_legacy
-from repro.core.planning import compile_program
+from repro.core.planning import (
+    compile_program,
+    execute_plan,
+    execute_plan_rows_legacy,
+)
 from repro.core.semantics import (
     inflationary_semantics,
     naive_least_fixpoint,
     seminaive_least_fixpoint,
 )
 from repro.graphs import generators as gg, graph_to_database
-from repro.queries import pi1, transitive_closure_program
+from repro.queries import distance_program, pi1, transitive_closure_program
 
 TC = transitive_closure_program()
 PI1 = pi1()
+DIST = distance_program()
 
 
 def legacy_least_fixpoint(program, db):
@@ -103,3 +113,25 @@ def test_inflationary_pi1_legacy(benchmark, n):
     db = graph_to_database(gg.path(n))
     result = benchmark(legacy_inflationary, PI1, db)
     assert result["T"]
+
+
+# ----------------------------------------------------------------------
+# Batch executor vs PR-1 dict executor on the completion-bound distance
+# program (identical plans; only the execution model differs) — driven by
+# the same ``inflationary_with_executor`` the perf experiment measures.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_inflationary_distance_batch(benchmark, n):
+    db = graph_to_database(gg.path(n))
+    expected = inflationary_with_executor(DIST, db, execute_plan_rows_legacy)
+    result = benchmark(inflationary_with_executor, DIST, db, execute_plan)
+    assert idb_equal(result, expected)
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_inflationary_distance_dict_executor(benchmark, n):
+    db = graph_to_database(gg.path(n))
+    result = benchmark(inflationary_with_executor, DIST, db, execute_plan_rows_legacy)
+    assert result["S3"]

@@ -1,30 +1,164 @@
-"""CLI: ``python -m repro.bench [e1 e2 ...|all] [--markdown]``.
+"""CLI: ``python -m repro.bench [e1 e2 ...|all] [--markdown|--json]``.
 
 Runs the requested experiments and prints their tables; used to generate
-EXPERIMENTS.md and for quick eyeballing.
+EXPERIMENTS.md and for quick eyeballing.  ``--json`` emits the same
+tables as machine-readable data — ``BENCH_PR2.json`` at the repo root is
+a committed snapshot of ``python -m repro.bench perf --json``.
+
+``python -m repro.bench check --baseline BENCH_PR2.json [--factor F]
+[--floor S] [ids...]`` re-runs the experiments (default: ``perf``) and
+fails when any shipped-path timing cell regressed more than ``F``-fold
+against the committed baseline; CI runs it as the perf gate.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 
 from .harness import all_experiments, experiment
 
+_TIMING_COLUMNS = frozenset({"compiled s", "batch s"})
+"""Shipped-path timing columns the regression gate compares."""
 
-def main(argv) -> int:
-    args = [a for a in argv if not a.startswith("--")]
-    markdown = "--markdown" in argv
+
+def _run_experiments(ids):
     chosen = (
         all_experiments()
-        if not args or args == ["all"]
-        else [experiment(a) for a in args]
+        if not ids or ids == ["all"]
+        else [experiment(a) for a in ids]
     )
-    failures = 0
+    results = []
     for exp in chosen:
         start = time.perf_counter()
         tables = exp.run()
         elapsed = time.perf_counter() - start
+        results.append((exp, tables, elapsed))
+    return results
+
+
+def _as_json(results) -> dict:
+    return {
+        "generated_with": "python -m repro.bench %s --json"
+        % " ".join(exp.ident for exp, _, _ in results),
+        "experiments": [
+            {
+                "id": exp.ident,
+                "title": exp.title,
+                "claim": exp.claim,
+                "runtime_s": elapsed,
+                "tables": [t.to_dict() for t in tables],
+            }
+            for exp, tables, elapsed in results
+        ],
+    }
+
+
+def run_check(argv) -> int:
+    """Compare a fresh run against a committed ``--json`` baseline."""
+    baseline_path = None
+    factor = 3.0
+    floor = 0.02
+    ids = []
+    it = iter(argv)
+    for a in it:
+        if a == "--baseline":
+            baseline_path = next(it, None)
+        elif a == "--factor":
+            factor = float(next(it))
+        elif a == "--floor":
+            floor = float(next(it))
+        else:
+            ids.append(a)
+    if baseline_path is None:
+        print("usage: python -m repro.bench check --baseline FILE [ids...]")
+        return 2
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+
+    results = _run_experiments(ids or ["perf"])
+    current = _as_json(results)
+    current_by_id = {e["id"]: e for e in current["experiments"]}
+
+    failures = []
+    for base_exp in baseline["experiments"]:
+        cur_exp = current_by_id.get(base_exp["id"])
+        if cur_exp is None:
+            failures.append("experiment %r missing from current run" % base_exp["id"])
+            continue
+        cur_tables = {t["title"]: t for t in cur_exp["tables"]}
+        for base_table in base_exp["tables"]:
+            cur_table = cur_tables.get(base_table["title"])
+            if cur_table is None:
+                failures.append("table %r missing" % base_table["title"])
+                continue
+            if not cur_table["all_ok"]:
+                failures.append("table %r has failing ok rows" % base_table["title"])
+            # Resolve timing columns by *name* in each file independently:
+            # a reordered or renamed column must fail loudly, never compare
+            # mismatched cells.
+            timing_cols = [c for c in base_table["columns"] if c in _TIMING_COLUMNS]
+            missing = [c for c in timing_cols if c not in cur_table["columns"]]
+            if missing:
+                failures.append(
+                    "table %r lost timing columns %s" % (base_table["title"], missing)
+                )
+                continue
+            col_pairs = [
+                (c, base_table["columns"].index(c), cur_table["columns"].index(c))
+                for c in timing_cols
+            ]
+            cur_rows = {row[0]: row for row in cur_table["rows"]}
+            for base_row in base_table["rows"]:
+                cur_row = cur_rows.get(base_row[0])
+                if cur_row is None:
+                    failures.append(
+                        "row %r missing from table %r"
+                        % (base_row[0], base_table["title"])
+                    )
+                    continue
+                for name, bi, ci in col_pairs:
+                    base_t = max(float(base_row[bi]), floor)
+                    cur_t = float(cur_row[ci])
+                    if cur_t > factor * base_t:
+                        failures.append(
+                            "%s / %s / %s: %.4fs vs baseline %.4fs (> %.1fx)"
+                            % (
+                                base_table["title"],
+                                base_row[0],
+                                name,
+                                cur_t,
+                                base_t,
+                                factor,
+                            )
+                        )
+    if failures:
+        print("perf regression check FAILED (factor %.1fx, floor %.3fs):" % (factor, floor))
+        for f in failures:
+            print("  - %s" % f)
+        return 1
+    print(
+        "perf regression check passed (factor %.1fx, floor %.3fs, %d experiments)"
+        % (factor, floor, len(baseline["experiments"]))
+    )
+    return 0
+
+
+def main(argv) -> int:
+    if argv and argv[0] == "check":
+        return run_check(argv[1:])
+    args = [a for a in argv if not a.startswith("--")]
+    markdown = "--markdown" in argv
+    as_json = "--json" in argv
+    results = _run_experiments(args)
+    if as_json:
+        print(json.dumps(_as_json(results), indent=2, sort_keys=True))
+        return 1 if any(
+            not t.all_ok() for _, tables, _ in results for t in tables
+        ) else 0
+    failures = 0
+    for exp, tables, elapsed in results:
         if markdown:
             print("## %s\n" % exp.title)
             print("Claim: %s\n" % exp.claim)

@@ -62,6 +62,27 @@ class Table:
             lines.append("note: %s" % note)
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable view (``python -m repro.bench --json``).
+
+        Cells that are not JSON scalars are stringified, so the output is
+        loadable anywhere; floats (the timing cells the regression gate
+        compares) survive as numbers.
+        """
+
+        def scalar(value: Any) -> Any:
+            if isinstance(value, (bool, int, float, str)) or value is None:
+                return value
+            return str(value)
+
+        return {
+            "title": self.title,
+            "columns": [str(c) for c in self.columns],
+            "rows": [[scalar(v) for v in row] for row in self.rows],
+            "notes": list(self.notes),
+            "all_ok": self.all_ok(),
+        }
+
     def render_markdown(self) -> str:
         """GitHub-flavoured markdown rendering (for EXPERIMENTS.md)."""
         lines = ["### %s" % self.title, ""]

@@ -34,7 +34,7 @@ from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 from ..db.database import Database
 from ..db.relation import Relation
 from .literals import Atom, Eq, Negation, Neq
-from .planning import compile_rule, solve_plan
+from .planning import PLAN_STORE, solve_plan
 from .program import Program
 from .rules import Rule
 
@@ -148,8 +148,11 @@ def _edb_projection(rule: Rule, idb: FrozenSet[str]) -> Rule:
     It keeps the positive EDB atoms and EDB-only filters, under a
     synthetic head listing *every* rule variable so the plan's
     active-domain completion covers variables that occur only in IDB
-    literals (which stay symbolic).  The plan itself is compiled per
-    grounding call so join ordering sees the database's cardinalities.
+    literals (which stay symbolic).  The plan itself is fetched from the
+    shared plan store under a (rule, database) key, so repeated
+    groundings of the same input — the well-founded engine, the SAT
+    reduction, enumeration — compile once while join ordering still sees
+    the database's cardinalities.
     """
     edb_body = [
         t
@@ -176,7 +179,7 @@ def ground_rule_instances(
         t for t in rule.body if isinstance(t, Negation) and t.atom.pred in idb
     ]
 
-    plan = compile_rule(_edb_projection(rule, idb), db=interp)
+    plan = PLAN_STORE.rule_plan(_edb_projection(rule, idb), db=interp)
     subs = solve_plan(plan, interp)
 
     out: List[GroundRule] = []

@@ -21,22 +21,25 @@ universe one variable at a time so that filters prune early.
 Since the planner refactor, rule evaluation is split in two:
 :mod:`repro.core.planning` compiles each rule once into a
 :class:`~repro.core.planning.RulePlan` (fixed join order, key columns,
-filter schedule) which is then executed every round with indexes cached
-on the immutable relations.  ``evaluate_rule``/``theta`` below compile
-transparently; ``evaluate_rule_legacy``/``theta_legacy`` keep the
-original re-plan-every-call path as the tested-equivalent baseline.
+filter schedule, batch program) which is then executed every round by
+the set-at-a-time batch executor — negation as anti-join, completion
+through negated atoms as a complement join — with indexes cached on the
+immutable relations.  Compiled plans come from the process-wide
+:data:`repro.core.planning.PLAN_STORE`, shared with every engine and the
+grounder.  ``evaluate_rule``/``theta`` below compile transparently;
+``evaluate_rule_legacy``/``theta_legacy`` keep the original
+re-plan-every-call path as the tested-equivalent baseline.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..db.database import Database
 from ..db.index import HashIndex
 from ..db.relation import Relation
 from .literals import Atom, Comparison, Eq, Literal, Negation, Neq
-from .planning import ProgramPlan, compile_program, compile_rule, execute_plan
+from .planning import PLAN_STORE, ProgramPlan, execute_plan
 from .program import Program
 from .rules import Rule
 from .terms import Constant, Variable
@@ -145,18 +148,6 @@ def _filter_holds(lit: Literal, sub: Binding, interp: Database, arities: Dict[st
     raise TypeError("not a filter literal: %r" % (lit,))
 
 
-@lru_cache(maxsize=4096)
-def _plan_for_rule(rule: Rule):
-    """Rule plans for the compile-and-run wrapper, cached per rule."""
-    return compile_rule(rule)
-
-
-@lru_cache(maxsize=512)
-def _plan_for_program(program: Program) -> ProgramPlan:
-    """Program plans for callers of :func:`theta` that did not compile."""
-    return compile_program(program)
-
-
 def evaluate_rule(rule: Rule, interp: Database, arities: Optional[Dict[str, int]] = None) -> Set[Tuple]:
     """One-step consequences of a single rule on an interpretation.
 
@@ -166,13 +157,14 @@ def evaluate_rule(rule: Rule, interp: Database, arities: Optional[Dict[str, int]
 
     This is a thin compile-and-run wrapper over
     :mod:`repro.core.planning`: the rule is compiled to a
-    :class:`~repro.core.planning.RulePlan` once (plans are cached per
-    rule) and executed with relation-cached indexes.  ``arities`` is kept
-    for API compatibility; plans read arities off the atoms themselves.
-    The pre-planner evaluator survives as :func:`evaluate_rule_legacy`
-    and is property-tested equivalent.
+    :class:`~repro.core.planning.RulePlan` once (through the shared
+    :data:`~repro.core.planning.PLAN_STORE`) and executed set-at-a-time
+    by the batch executor with relation-cached indexes.  ``arities`` is
+    kept for API compatibility; plans read arities off the atoms
+    themselves.  The pre-planner evaluator survives as
+    :func:`evaluate_rule_legacy` and is property-tested equivalent.
     """
-    return execute_plan(_plan_for_rule(rule), interp)
+    return execute_plan(PLAN_STORE.rule_plan(rule), interp)
 
 
 def evaluate_rule_legacy(rule: Rule, interp: Database, arities: Optional[Dict[str, int]] = None) -> Set[Tuple]:
@@ -190,6 +182,10 @@ def evaluate_rule_legacy(rule: Rule, interp: Database, arities: Optional[Dict[st
     ]
     bound: Set[Variable] = set()
     subs: List[Binding] = [{}]
+
+    # Phase 0: variable-free filters (zero-ary negations, constant
+    # comparisons) gate the rule before any atom is matched.
+    subs, filters = _filter_ready(subs, filters, bound, interp, arities)
 
     # Phase 1: bind through positive atoms, most-connected first.
     remaining = positives[:]
@@ -268,14 +264,14 @@ def theta(
     values); ``idb`` overrides IDB values when given.  The result maps every
     IDB predicate to its *new* value — the paper's non-cumulative operator.
 
-    Engines that iterate Theta compile the program once with
-    :func:`repro.core.planning.compile_program` and pass the ``plan``;
-    without one, a per-program cached plan is used, so even ad-hoc calls
+    Engines that iterate Theta fetch the program's plan once from the
+    shared :data:`~repro.core.planning.PLAN_STORE` and pass the ``plan``;
+    without one, the store is consulted per call, so even ad-hoc callers
     avoid re-planning.
     """
     interp = as_interpretation(program, db, idb)
     if plan is None:
-        plan = _plan_for_program(program)
+        plan = PLAN_STORE.program_plan(program)
     derived = plan.consequences(interp)
     return {
         p: Relation(p, program.arity(p), tuples) for p, tuples in derived.items()

@@ -1,40 +1,71 @@
-"""Rule compilation: plan once, execute every round.
+"""Rule compilation and set-at-a-time execution: plan once, batch every round.
 
 The legacy evaluator (:func:`repro.core.operator.evaluate_rule_legacy`)
 re-planned the join order and rebuilt a fresh hash index per body atom on
-*every* fixpoint round, making each round pay O(|relation|) in index
-construction alone.  This package splits that work:
+*every* fixpoint round; the PR-1 planner compiled once but still executed
+tuple-at-a-time, copying one binding dict per extension and completing
+unsafe variables by enumerating ``|A|^k`` candidates and filtering.  This
+package now splits the work three ways:
 
 * :func:`compile_rule` / :func:`compile_program` run once per
   (program, database) and produce immutable :class:`RulePlan` /
-  :class:`ProgramPlan` objects — fixed join order, precomputed key
-  columns, lowered filters, and a static active-domain completion
-  schedule;
-* :func:`execute_plan` / :meth:`ProgramPlan.consequences` interpret a
-  plan against an interpretation, fetching indexes through
-  :meth:`repro.db.relation.Relation.index_on`, which caches each index
-  on the (immutable) relation so unchanged relations are never
-  re-indexed across rounds.
+  :class:`ProgramPlan` objects carrying *both* lowerings of the rule —
+  the dict row program and the batch program (anti-join negation,
+  complement-scheduled completion, hoisted sorted universe);
+* :mod:`~repro.core.planning.batch` executes the batch program over a
+  :class:`BindingTable` (fixed variable schema + tuple rows): index-backed
+  batch joins, negation as **anti-join**, and completion through negated
+  atoms as a join against a lazily-materialised **complement relation**
+  (:meth:`repro.db.relation.Relation.complement_on`) instead of
+  enumerate-then-filter;
+* :class:`PlanStore` / :data:`PLAN_STORE` cache compiled plans under
+  (program, db) keys so all engines — and the grounder feeding the
+  well-founded/SAT pipelines — share one compilation per input instead
+  of compiling privately.
 
-All fixpoint engines (naive, semi-naive, incremental, inflationary,
-stratified, well-founded grounding) evaluate through plans; the public
-``evaluate_rule``/``theta`` API compiles transparently and is unchanged.
+The PR-1 dict executor survives as :func:`solve_plan_rows_legacy` /
+:func:`execute_plan_rows_legacy` for the three-way equivalence property
+suite and the benchmarks' baseline.
 """
 
+from .batch import BindingTable, execute_plan, solve_plan, solve_plan_table
 from .compiler import ProgramPlan, compile_program, compile_rule, compile_rules
-from .executor import execute_plan, solve_plan
-from .plan import AtomStep, CmpFilter, DomainStep, NegFilter, RulePlan
+from .executor import execute_plan_rows_legacy, solve_plan_rows_legacy
+from .plan import (
+    AntiJoin,
+    AtomStep,
+    BatchJoin,
+    CmpFilter,
+    CmpOp,
+    ComplementJoin,
+    DomainStep,
+    ExtendDomain,
+    NegFilter,
+    RulePlan,
+)
+from .store import PLAN_STORE, PlanStore
 
 __all__ = [
+    "AntiJoin",
     "AtomStep",
+    "BatchJoin",
+    "BindingTable",
     "CmpFilter",
+    "CmpOp",
+    "ComplementJoin",
     "DomainStep",
+    "ExtendDomain",
     "NegFilter",
+    "PLAN_STORE",
+    "PlanStore",
     "ProgramPlan",
     "RulePlan",
     "compile_program",
     "compile_rule",
     "compile_rules",
     "execute_plan",
+    "execute_plan_rows_legacy",
     "solve_plan",
+    "solve_plan_rows_legacy",
+    "solve_plan_table",
 ]

@@ -1,0 +1,286 @@
+"""Set-at-a-time execution of compiled rule plans.
+
+This is the per-round hot path of every fixpoint engine.  Where the
+PR-1 executor (:func:`~repro.core.planning.executor.solve_plan_rows_legacy`)
+threaded a ``List[Dict[Variable, Any]]`` through the plan — one dict
+copy per extension — the batch executor threads a
+:class:`BindingTable`: a fixed variable schema plus plain value tuples,
+so every operation is a relational pass over the whole frontier:
+
+* :class:`~repro.core.planning.plan.BatchJoin` probes the relation's
+  cached index (:meth:`repro.db.relation.Relation.index_on`) and appends
+  columns with tuple concatenation;
+* :class:`~repro.core.planning.plan.AntiJoin` filters the row set
+  against the relation's tuple set in one pass — negation as an
+  anti-join rather than a per-binding membership test;
+* :class:`~repro.core.planning.plan.ComplementJoin` completes variables
+  *through* a negated atom by joining against the (lazily materialised,
+  relation-cached) complement — or, for existence-only variables, by a
+  complement non-emptiness check that appends nothing at all — instead
+  of enumerating ``|A|^k`` candidates and filtering;
+* :class:`~repro.core.planning.plan.ExtendDomain` is the residual
+  active-domain cross product for variables no negation can complete.
+
+``solve_plan`` keeps the PR-1 binding-dict output contract for the
+grounder: it runs the batch program and converts the final table to
+dicts once, at the end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set, Tuple
+
+from ...db.algebra import universe_product
+from ...db.database import Database
+from ..terms import Variable
+from .plan import (
+    AntiJoin,
+    BatchJoin,
+    CmpOp,
+    ComplementJoin,
+    ExtendDomain,
+    RulePlan,
+)
+
+Binding = Dict[Variable, Any]
+Row = Tuple[Any, ...]
+
+
+class BindingTable:
+    """A fixed variable schema plus a set of value rows.
+
+    The batch executor's frontier: ``schema[i]`` names the variable bound
+    by column ``i`` of every row.  Rows are plain tuples — extension is
+    tuple concatenation, filtering is a list comprehension — and stay
+    duplicate-free because every operation extends distinct rows with
+    distinct suffixes or only removes rows.
+    """
+
+    __slots__ = ("schema", "rows")
+
+    def __init__(self, schema: Tuple[Variable, ...], rows: List[Row]) -> None:
+        self.schema = schema
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def to_bindings(self) -> List[Binding]:
+        """The rows as ``{Variable: value}`` dicts (schema order)."""
+        schema = self.schema
+        return [dict(zip(schema, row)) for row in self.rows]
+
+    def __repr__(self) -> str:
+        return "BindingTable(%s, %d rows)" % (
+            "/".join(v.name for v in self.schema),
+            len(self.rows),
+        )
+
+
+def solve_plan_table(plan: RulePlan, interp: Database) -> BindingTable:
+    """Run the plan's batch program; the table binds ``plan.schema``.
+
+    Existence-only completion variables (bound by an ``exists_only``
+    complement check) carry no column — the table is the projection of
+    the satisfying assignments onto the variables something downstream
+    actually reads (head, filters), which is all ``execute_plan`` and the
+    grounder ever consume.
+    """
+    rows: List[Row] = [()]
+    domain = None
+    for op in plan.ops:
+        if not rows:
+            break
+        t = type(op)
+        if t is BatchJoin:
+            rel = interp.get(op.pred)
+            if rel is None or not rel:
+                rows = []
+                break
+            lookup = rel.index_on(op.key_columns).lookup
+            key_spec = op.key
+            out_positions = op.out_positions
+            dup_checks = op.dup_checks
+            out: List[Row] = []
+            append = out.append
+            if all(is_const for is_const, _ in key_spec):
+                # Constant (or empty) key: one probe serves every row.
+                matches = lookup(tuple(payload for _, payload in key_spec))
+                matches = _dedup_check(matches, dup_checks)
+                for row in rows:
+                    for m in matches:
+                        append(row + tuple(m[p] for p in out_positions))
+            elif dup_checks:
+                for row in rows:
+                    key = tuple(
+                        payload if is_const else row[payload]
+                        for is_const, payload in key_spec
+                    )
+                    for m in lookup(key):
+                        ok = True
+                        for a, b in dup_checks:
+                            if m[a] != m[b]:
+                                ok = False
+                                break
+                        if ok:
+                            append(row + tuple(m[p] for p in out_positions))
+            else:
+                for row in rows:
+                    key = tuple(
+                        payload if is_const else row[payload]
+                        for is_const, payload in key_spec
+                    )
+                    for m in lookup(key):
+                        append(row + tuple(m[p] for p in out_positions))
+            rows = out
+        elif t is AntiJoin:
+            rel = interp.get(op.pred)
+            if rel is None or not rel:
+                continue  # nothing to exclude: the negation holds everywhere
+            tuples = rel.tuples
+            getters = op.getters
+            rows = [
+                row
+                for row in rows
+                if tuple(
+                    payload if is_const else row[payload]
+                    for is_const, payload in getters
+                )
+                not in tuples
+            ]
+        elif t is CmpOp:
+            lc, lp = op.left
+            rc, rp = op.right
+            if op.equal:
+                rows = [
+                    row
+                    for row in rows
+                    if (lp if lc else row[lp]) == (rp if rc else row[rp])
+                ]
+            else:
+                rows = [
+                    row
+                    for row in rows
+                    if (lp if lc else row[lp]) != (rp if rc else row[rp])
+                ]
+        elif t is ComplementJoin:
+            rows = _complement_join(op, rows, interp, plan)
+        elif t is ExtendDomain:
+            if domain is None:
+                domain = plan.completion_domain(interp)
+            rows = [row + (v,) for row in rows for v in domain]
+        else:  # pragma: no cover - compiler emits only the types above
+            raise TypeError("unknown batch op: %r" % (op,))
+    return BindingTable(plan.schema, rows)
+
+
+def _dedup_check(matches, dup_checks):
+    if not dup_checks:
+        return matches
+    out = []
+    for m in matches:
+        if all(m[a] == m[b] for a, b in dup_checks):
+            out.append(m)
+    return out
+
+
+def _covers_universe(tuples, universe: frozenset, k: int) -> bool:
+    """Whether ``tuples`` contains all of ``universe**k``.
+
+    Exact even when ``tuples`` holds values outside the universe (rules
+    can derive head constants the database never mentions): the cheap
+    cardinality test only ever *rejects* coverage, and the rare
+    len >= |A|^k case falls back to a subset check against the cached
+    product.
+    """
+    total = len(universe) ** k
+    if len(tuples) < total:
+        return False
+    return universe_product(universe, k) <= tuples
+
+
+def _complement_join(
+    op: ComplementJoin, rows: List[Row], interp: Database, plan: RulePlan
+) -> List[Row]:
+    k = len(op.free_positions)
+    n = len(interp.universe)
+    rel = interp.get(op.pred)
+    if rel is None or not rel:
+        # Absent/empty relation: the negation holds for every assignment,
+        # so this is a plain universe completion (or a universe check).
+        if op.exists_only:
+            return rows if n > 0 else []
+        full = universe_product(interp.universe, k)
+        return [row + values for row in rows for values in full]
+
+    if not op.bound_columns:
+        if op.exists_only:
+            # Only non-emptiness matters — no materialisation at all.
+            return rows if not _covers_universe(rel.tuples, interp.universe, op.arity) else []
+        # Pure case: every atom position is a fresh completion variable,
+        # so the allowed assignments are exactly the complement relation —
+        # materialised lazily, once per relation value per universe.
+        values = rel.complement_on(interp.universe).tuples
+        return [row + v for row in rows for v in values]
+
+    # Keyed case: group rows by the bound part of the atom and extend each
+    # group with A^k minus the matched projections — one index probe and
+    # one set difference per *distinct key*, not per row.
+    index = rel.index_on(op.bound_columns)
+    bound_key = op.bound_key
+    free_positions = op.free_positions
+    exists_only = op.exists_only
+    full = None if exists_only else universe_product(interp.universe, k)
+    cache: Dict[Tuple, Any] = {}
+    out: List[Row] = []
+    append = out.append
+    for row in rows:
+        key = tuple(
+            payload if is_const else row[payload]
+            for is_const, payload in bound_key
+        )
+        allowed = cache.get(key)
+        if allowed is None:
+            excluded = index.project(key, free_positions)
+            if exists_only:
+                allowed = not _covers_universe(excluded, interp.universe, k)
+            elif excluded:
+                allowed = full - excluded
+            else:
+                allowed = full
+            cache[key] = allowed
+        if exists_only:
+            if allowed:
+                append(row)
+        else:
+            for values in allowed:
+                append(row + values)
+    return out
+
+
+def solve_plan(plan: RulePlan, interp: Database) -> List[Binding]:
+    """The plan's satisfying bindings as dicts over ``plan.schema``.
+
+    This keeps the PR-1 ``solve_plan`` output contract the grounder
+    consumes; the bindings are produced by the batch executor and
+    converted once at the end.  Variables completed by an existence-only
+    complement check are not included (nothing downstream reads them);
+    plans whose head mentions every variable — the grounder's pseudo-head
+    construction — always get total bindings.
+    """
+    return solve_plan_table(plan, interp).to_bindings()
+
+
+def execute_plan(plan: RulePlan, interp: Database) -> Set[Tuple]:
+    """The set of ground head tuples the plan derives from ``interp``."""
+    table = solve_plan_table(plan, interp)
+    if not table.rows:
+        return set()
+    head = plan.head_cols
+    return {
+        tuple(payload if is_const else row[payload] for is_const, payload in head)
+        for row in table.rows
+    }

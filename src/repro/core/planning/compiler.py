@@ -13,9 +13,15 @@ order is chosen greedily:
 3. break remaining ties by the atom's position in the rule body, so
    compilation is deterministic.
 
-Filters are attached to the earliest step at which their variables are
-bound; completion variables are ordered to ready as many filters as
-possible, mirroring the legacy evaluator's dynamic heuristic.
+Each rule is lowered twice over the same join order: once to the
+tuple-at-a-time row program (dict bindings, kept for the legacy executor
+and the grounder's compatibility path) and once to the set-at-a-time
+batch program, where negations over bound variables become
+:class:`~repro.core.planning.plan.AntiJoin` operations and negations
+over completion variables are scheduled as
+:class:`~repro.core.planning.plan.ComplementJoin` operations — the
+complement representation of the paper's unsafe rules, replacing the
+``|A|^k`` enumerate-then-filter completion.
 """
 
 from __future__ import annotations
@@ -27,8 +33,23 @@ from ..literals import Atom, Eq, Literal, Negation, Neq
 from ..program import Program
 from ..rules import Rule
 from ..terms import Constant, Variable
-from .executor import execute_plan
-from .plan import AtomStep, CmpFilter, DomainStep, Filter, Getter, NegFilter, RulePlan
+from .batch import execute_plan
+from .plan import (
+    AntiJoin,
+    AtomStep,
+    BatchJoin,
+    BatchOp,
+    CmpFilter,
+    CmpOp,
+    ColGetter,
+    ComplementJoin,
+    DomainStep,
+    ExtendDomain,
+    Filter,
+    Getter,
+    NegFilter,
+    RulePlan,
+)
 
 _LARGE = float("inf")
 """Size estimate for relations we know nothing about (unseen IDB)."""
@@ -65,43 +86,12 @@ def _take_ready(
     return ready, rest
 
 
-def compile_rule(
-    rule: Rule,
-    db: Optional[Database] = None,
-    small_preds: FrozenSet[str] = frozenset(),
-) -> RulePlan:
-    """Compile one rule into an executable plan.
-
-    Parameters
-    ----------
-    rule:
-        The rule to compile.
-    db:
-        Optional database supplying EDB cardinalities for join ordering.
-        Plans are correct without it; ordering just falls back to the
-        connectivity heuristic alone.
-    small_preds:
-        Predicates the caller knows to be small (semi-naive deltas); the
-        planner joins through them first.
-    """
-
-    def estimate(pred: str) -> float:
-        if pred in small_preds:
-            return 0.0
-        if db is not None:
-            rel = db.get(pred)
-            if rel is not None:
-                return float(len(rel))
-        return _LARGE
-
-    filters: List[Literal] = [
-        t for t in rule.body if isinstance(t, (Negation, Eq, Neq))
-    ]
+def _join_order(
+    rule: Rule, estimate
+) -> List[Atom]:
+    """The greedy join order over the positive body atoms."""
     bound: Set[Variable] = set()
-
-    pre_filters, filters = _take_ready(filters, bound)
-
-    steps: List[AtomStep] = []
+    order: List[Atom] = []
     remaining = list(enumerate(rule.positive_atoms()))
     while remaining:
         remaining.sort(
@@ -112,6 +102,25 @@ def compile_rule(
             )
         )
         _, atom = remaining.pop(0)
+        order.append(atom)
+        bound |= atom.variables()
+    return order
+
+
+# ----------------------------------------------------------------------
+# Row-program lowering (dict executor; the PR-1 pipeline)
+# ----------------------------------------------------------------------
+
+
+def _lower_rows(rule: Rule, order: Sequence[Atom]):
+    filters: List[Literal] = [
+        t for t in rule.body if isinstance(t, (Negation, Eq, Neq))
+    ]
+    bound: Set[Variable] = set()
+    pre_filters, filters = _take_ready(filters, bound)
+
+    steps: List[AtomStep] = []
+    for atom in order:
         key_columns = tuple(
             i
             for i, arg in enumerate(atom.args)
@@ -154,13 +163,218 @@ def compile_rule(
         completions.append(DomainStep(var=var, filters=ready))
 
     assert not filters, "unschedulable filters (vars outside rule): %r" % filters
+    return pre_filters, tuple(steps), tuple(completions)
+
+
+# ----------------------------------------------------------------------
+# Batch-program lowering (set-at-a-time executor)
+# ----------------------------------------------------------------------
+
+
+def _lower_batch(rule: Rule, steps: Sequence[AtomStep]):
+    col: Dict[Variable, int] = {}
+    schema: List[Variable] = []
+    ops: List[BatchOp] = []
+    bound: Set[Variable] = set()
+    pending: List[Literal] = [
+        t for t in rule.body if isinstance(t, (Negation, Eq, Neq))
+    ]
+    head_vars = rule.head.variables()
+
+    def col_getter(term) -> ColGetter:
+        if isinstance(term, Constant):
+            return (True, term.value)
+        return (False, col[term])
+
+    def lower(lit: Literal) -> BatchOp:
+        if isinstance(lit, Negation):
+            atom = lit.atom
+            return AntiJoin(
+                pred=atom.pred,
+                arity=atom.arity,
+                getters=tuple(col_getter(a) for a in atom.args),
+            )
+        return CmpOp(
+            equal=isinstance(lit, Eq),
+            left=col_getter(lit.left),
+            right=col_getter(lit.right),
+        )
+
+    def attach_ready() -> None:
+        ready = [f for f in pending if f.variables() <= bound]
+        pending[:] = [f for f in pending if f.variables() - bound]
+        for f in ready:
+            ops.append(lower(f))
+
+    attach_ready()  # filters with no variables run before any join
+
+    for step in steps:
+        out_positions: List[int] = []
+        dup_checks: List[Tuple[int, int]] = []
+        for var, first, duplicates in step.new_vars:
+            col[var] = len(schema)
+            schema.append(var)
+            out_positions.append(first)
+            for d in duplicates:
+                dup_checks.append((d, first))
+        ops.append(
+            BatchJoin(
+                pred=step.pred,
+                arity=step.arity,
+                key_columns=step.key_columns,
+                key=tuple(
+                    (True, payload) if is_const else (False, col[payload])
+                    for is_const, payload in step.key
+                ),
+                out_positions=tuple(out_positions),
+                dup_checks=tuple(dup_checks),
+            )
+        )
+        for var, _, _ in step.new_vars:
+            bound.add(var)
+        attach_ready()
+
+    # Completion: negated atoms whose unbound variables are completion
+    # variables (each occurring exactly once) are scheduled complement-first.
+    unbound: Set[Variable] = set(rule.variables()) - bound
+
+    def complement_fresh(f: Literal) -> Optional[FrozenSet[Variable]]:
+        """The fresh variables of ``f`` if it is complement-eligible."""
+        if not isinstance(f, Negation):
+            return None
+        fresh = f.variables() - bound
+        if not fresh:
+            return None
+        for v in fresh:
+            if sum(1 for a in f.atom.args if a == v) != 1:
+                return None  # repeated fresh variable: fall back to extend
+        return fresh
+
+    def emit_complement(f: Negation, fresh: FrozenSet[Variable], exists_only: bool) -> None:
+        atom = f.atom
+        bound_columns = tuple(
+            i
+            for i, a in enumerate(atom.args)
+            if isinstance(a, Constant) or (a in bound and a not in fresh)
+        )
+        bound_key = tuple(col_getter(atom.args[i]) for i in bound_columns)
+        free_positions = tuple(
+            i for i in range(atom.arity) if i not in bound_columns
+        )
+        free_vars = tuple(atom.args[i] for i in free_positions)
+        if not exists_only:
+            for v in free_vars:
+                col[v] = len(schema)
+                schema.append(v)
+        ops.append(
+            ComplementJoin(
+                pred=atom.pred,
+                arity=atom.arity,
+                bound_columns=bound_columns,
+                bound_key=bound_key,
+                free_positions=free_positions,
+                vars=free_vars,
+                exists_only=exists_only,
+            )
+        )
+        pending.remove(f)
+        bound.update(fresh)
+        unbound.difference_update(fresh)
+        attach_ready()
+
+    # Pass 1: existence-only complement checks first — they can only
+    # shrink the row set, so they run before any row multiplication.
+    changed = True
+    while changed:
+        changed = False
+        for f in list(pending):
+            fresh = complement_fresh(f)
+            if fresh is None:
+                continue
+            if any(v in head_vars for v in fresh):
+                continue
+            if any(
+                v in g.variables() for v in fresh for g in pending if g is not f
+            ):
+                continue
+            emit_complement(f, fresh, exists_only=True)
+            changed = True
+
+    # Pass 2: remaining completion variables — complement joins where
+    # eligible, universe extension otherwise.
+    while unbound:
+        pick = None
+        for f in pending:
+            fresh = complement_fresh(f)
+            if fresh is not None:
+                pick = (f, fresh)
+                break
+        if pick is not None:
+            emit_complement(pick[0], pick[1], exists_only=False)
+            continue
+
+        def readiness(v: Variable) -> int:
+            would_bind = bound | {v}
+            return sum(1 for f in pending if f.variables() <= would_bind)
+
+        var = min(unbound, key=lambda v: (-readiness(v), v.name))
+        col[var] = len(schema)
+        schema.append(var)
+        ops.append(ExtendDomain(var=var))
+        bound.add(var)
+        unbound.discard(var)
+        attach_ready()
+
+    assert not pending, "unschedulable filters (vars outside rule): %r" % pending
+    head_cols = tuple(col_getter(a) for a in rule.head.args)
+    return tuple(schema), tuple(ops), head_cols
+
+
+def compile_rule(
+    rule: Rule,
+    db: Optional[Database] = None,
+    small_preds: FrozenSet[str] = frozenset(),
+) -> RulePlan:
+    """Compile one rule into an executable plan.
+
+    Parameters
+    ----------
+    rule:
+        The rule to compile.
+    db:
+        Optional database supplying EDB cardinalities for join ordering.
+        Plans are correct without it; ordering just falls back to the
+        connectivity heuristic alone.  When given, the database's sorted
+        universe is hoisted into the plan so executors never re-sort it.
+    small_preds:
+        Predicates the caller knows to be small (semi-naive deltas); the
+        planner joins through them first.
+    """
+
+    def estimate(pred: str) -> float:
+        if pred in small_preds:
+            return 0.0
+        if db is not None:
+            rel = db.get(pred)
+            if rel is not None:
+                return float(len(rel))
+        return _LARGE
+
+    order = _join_order(rule, estimate)
+    pre_filters, steps, completions = _lower_rows(rule, order)
+    schema, ops, head_cols = _lower_batch(rule, steps)
     return RulePlan(
         rule=rule,
         head_pred=rule.head.pred,
         head=tuple(_getter(a) for a in rule.head.args),
         pre_filters=pre_filters,
-        steps=tuple(steps),
-        completions=tuple(completions),
+        steps=steps,
+        completions=completions,
+        schema=schema,
+        ops=ops,
+        head_cols=head_cols,
+        domain=db.sorted_universe() if db is not None else None,
+        domain_universe=db.universe if db is not None else None,
     )
 
 

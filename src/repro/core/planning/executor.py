@@ -1,15 +1,23 @@
-"""Execute compiled rule plans against an interpretation.
+"""The PR-1 tuple-at-a-time plan executor (dict bindings), kept as a baseline.
 
-The executor is the per-round hot path of every fixpoint engine: it
-interprets a :class:`~repro.core.planning.plan.RulePlan` with no AST
-inspection, no join-order decisions, and — through
-:meth:`repro.db.relation.Relation.index_on` — no index construction for
-relations that already served a lookup on the same key columns.
+This was the hot path before the set-at-a-time refactor: it interprets
+the *row program* of a :class:`~repro.core.planning.plan.RulePlan`
+(``pre_filters``/``steps``/``completions``) with one
+``Dict[Variable, Any]`` per partial binding, copying the dict on every
+extension and completing unsafe variables by enumerating the whole
+universe and filtering one binding at a time.
+
+It survives as ``solve_plan_rows_legacy``/``execute_plan_rows_legacy``
+next to :func:`repro.core.operator.evaluate_rule_legacy` so the property
+suite can check *three-way* equivalence — legacy evaluator vs. dict
+executor vs. batch executor — and so the benchmarks can quantify the
+batch executor's win over it.  Production callers go through
+:mod:`repro.core.planning.batch`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Set, Tuple
 
 from ...db.database import Database
 from ..terms import Variable
@@ -35,11 +43,12 @@ def _filter_holds(f: Filter, sub: Binding, interp: Database) -> bool:
     raise TypeError("not a compiled filter: %r" % (f,))
 
 
-def solve_plan(plan: RulePlan, interp: Database) -> List[Binding]:
-    """All total variable bindings satisfying the plan's body.
+def solve_plan_rows_legacy(plan: RulePlan, interp: Database) -> List[Binding]:
+    """All total variable bindings satisfying the plan's body (dicts).
 
-    This is the executor core; :func:`execute_plan` projects the result
-    onto the head while the grounder consumes the bindings directly.
+    The PR-1 executor core: one dict per binding, copied per extension.
+    Superseded by :func:`repro.core.planning.batch.solve_plan`; kept as
+    the property-tested middle rung of the three-way equivalence ladder.
     """
     subs: List[Binding] = [{}]
     for f in plan.pre_filters:
@@ -83,7 +92,7 @@ def solve_plan(plan: RulePlan, interp: Database) -> List[Binding]:
                 return []
 
     if plan.completions and subs:
-        universe = tuple(sorted(interp.universe, key=repr))
+        universe = plan.completion_domain(interp)
         for step in plan.completions:
             var = step.var
             extended_subs: List[Binding] = []
@@ -102,9 +111,9 @@ def solve_plan(plan: RulePlan, interp: Database) -> List[Binding]:
     return subs
 
 
-def execute_plan(plan: RulePlan, interp: Database) -> Set[Tuple]:
-    """The set of ground head tuples the plan derives from ``interp``."""
-    subs = solve_plan(plan, interp)
+def execute_plan_rows_legacy(plan: RulePlan, interp: Database) -> Set[Tuple]:
+    """Head tuples via the dict executor (baseline for the batch path)."""
+    subs = solve_plan_rows_legacy(plan, interp)
     if not subs:
         return set()
     head = plan.head

@@ -1,4 +1,4 @@
-"""Compiled rule plans: the data the executor interprets.
+"""Compiled rule plans: the data the executors interpret.
 
 A :class:`RulePlan` freezes every decision the legacy ``evaluate_rule``
 used to re-make on each fixpoint round:
@@ -14,22 +14,43 @@ used to re-make on each fixpoint round:
 * the active-domain completion order for variables bound by no positive
   atom (the paper's unsafe rules), again with filters interleaved.
 
-Filters and head/key accessors are pre-lowered to *getters* — pairs
-``(is_const, payload)`` where the payload is either a constant value or
-a :class:`~repro.core.terms.Variable` to look up in the binding — so the
-executor's inner loops never touch the AST.
+Plans carry *two* lowerings of the same rule:
+
+* the tuple-at-a-time **row program** (``pre_filters`` / ``steps`` /
+  ``completions``), interpreted by the PR-1 dict executor
+  (:func:`~repro.core.planning.executor.solve_plan_rows_legacy`), where
+  each partial binding is a ``{Variable: value}`` dict;
+* the set-at-a-time **batch program** (``schema`` / ``ops`` /
+  ``head_cols``), interpreted by
+  :mod:`repro.core.planning.batch`, where the whole frontier is one
+  :class:`~repro.core.planning.batch.BindingTable` (a fixed variable
+  schema plus a set of value rows) and every operation is relational:
+  joins are index-backed batch joins, negations over bound variables are
+  **anti-joins**, and negations over completed variables become joins
+  against a lazily-materialised **complement relation** instead of
+  enumerate-then-filter.
+
+Filters and head/key accessors are pre-lowered to *getters*.  The row
+program uses ``(is_const, payload)`` pairs where the payload is either a
+constant value or a :class:`~repro.core.terms.Variable` to look up in
+the binding dict; the batch program uses the same shape but the payload
+of a non-constant getter is a 0-based *column index* into the schema, so
+the batch inner loops do tuple indexing only — no dicts, no AST.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Tuple, Union
+from typing import Any, Optional, Tuple, Union
 
 from ..rules import Rule
 from ..terms import Variable
 
 Getter = Tuple[bool, Any]
 """``(True, value)`` for a constant, ``(False, Variable)`` for a lookup."""
+
+ColGetter = Tuple[bool, Any]
+"""``(True, value)`` for a constant, ``(False, column_index)`` for a row column."""
 
 
 @dataclass(frozen=True)
@@ -78,6 +99,95 @@ class DomainStep:
     filters: Tuple[Filter, ...]
 
 
+# ----------------------------------------------------------------------
+# Batch (set-at-a-time) operations
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchJoin:
+    """Index-backed batch join: extend every row with matching tuples.
+
+    ``key_columns``/``key`` address the relation columns that are keyed by
+    constants or already-bound schema columns; ``out_positions`` are the
+    relation positions appended to each row (one per newly bound
+    variable, in schema order); ``dup_checks`` are ``(pos, pos')`` pairs
+    that must agree within the matched tuple (repeated fresh variables).
+    """
+
+    pred: str
+    arity: int
+    key_columns: Tuple[int, ...]
+    key: Tuple[ColGetter, ...]
+    out_positions: Tuple[int, ...]
+    dup_checks: Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class AntiJoin:
+    """Negated atom over bound columns: drop rows with a match in ``pred``.
+
+    The relational face of a ``!pred(...)`` literal whose variables are
+    all bound — the whole row set is filtered against the relation's
+    tuple set at once instead of one membership test per binding dict.
+    """
+
+    pred: str
+    arity: int
+    getters: Tuple[ColGetter, ...]
+
+
+@dataclass(frozen=True)
+class CmpOp:
+    """Batch (in)equality filter over two getters."""
+
+    equal: bool
+    left: ColGetter
+    right: ColGetter
+
+
+@dataclass(frozen=True)
+class ExtendDomain:
+    """Cross every row with the universe, appending one column."""
+
+    var: Variable
+
+
+@dataclass(frozen=True)
+class ComplementJoin:
+    """Complete variables *through* a negated atom, complement-first.
+
+    For a literal ``!pred(args)`` whose unbound variables are all
+    completion variables (each occurring exactly once in the atom), the
+    enumerate-then-filter pipeline — cross the rows with ``|A|^k``
+    candidate assignments, then drop the ones present in ``pred`` — is
+    replaced by a join against the *complement*:
+
+    * with no bound positions, rows are crossed with the lazily
+      materialised, relation-cached complement
+      ``A^arity - pred`` (:meth:`repro.db.relation.Relation.complement_on`);
+    * with bound positions, rows are grouped by their key and each group
+      is extended with ``A^k`` minus the key's matched projections
+      (one index probe per distinct key, not per row).
+
+    When ``exists_only`` is true the completed variables feed nothing
+    downstream (not in the head, in no later filter), so the rows are
+    merely *kept or dropped* on complement non-emptiness — no columns are
+    appended and the ``|A|^k`` blowup disappears entirely.
+    """
+
+    pred: str
+    arity: int
+    bound_columns: Tuple[int, ...]
+    bound_key: Tuple[ColGetter, ...]
+    free_positions: Tuple[int, ...]
+    vars: Tuple[Variable, ...]
+    exists_only: bool
+
+
+BatchOp = Union[BatchJoin, AntiJoin, CmpOp, ExtendDomain, ComplementJoin]
+
+
 @dataclass(frozen=True)
 class RulePlan:
     """A fully compiled rule, ready for repeated execution."""
@@ -88,23 +198,60 @@ class RulePlan:
     pre_filters: Tuple[Filter, ...]
     steps: Tuple[AtomStep, ...]
     completions: Tuple[DomainStep, ...]
+    # Batch program (set-at-a-time lowering of the same rule).
+    schema: Tuple[Variable, ...] = ()
+    ops: Tuple[BatchOp, ...] = ()
+    head_cols: Tuple[ColGetter, ...] = ()
+    # Universe snapshot hoisted from the compile-time database (if any):
+    # executors use it instead of re-sorting ``interp.universe`` per call.
+    domain: Optional[Tuple[Any, ...]] = None
+    domain_universe: Optional[frozenset] = None
 
     @property
     def needs_universe(self) -> bool:
         """True when the plan completes some variable over the universe."""
         return bool(self.completions)
 
+    def completion_domain(self, interp) -> Tuple[Any, ...]:
+        """The ordered completion domain for ``interp``.
+
+        The sorted universe hoisted at compile time when it still matches
+        the interpretation (the identity check is the common case: derived
+        databases share their parent's universe object), else the
+        interpretation's own cached sort.  Both executors route through
+        this so they can never complete over different domains.
+        """
+        if self.domain is not None and (
+            interp.universe is self.domain_universe
+            or interp.universe == self.domain_universe
+        ):
+            return self.domain
+        return interp.sorted_universe()
+
     def describe(self) -> str:
         """A human-readable sketch of the plan (for debugging/benchmarks)."""
         parts = ["plan for %s" % self.rule]
-        for s in self.steps:
-            parts.append(
-                "  join %s/%d on columns %s (+%d filters)"
-                % (s.pred, s.arity, list(s.key_columns), len(s.filters))
-            )
-        for c in self.completions:
-            parts.append(
-                "  complete %s over universe (+%d filters)"
-                % (c.var, len(c.filters))
-            )
+        for op in self.ops:
+            if isinstance(op, BatchJoin):
+                parts.append(
+                    "  join %s/%d on columns %s"
+                    % (op.pred, op.arity, list(op.key_columns))
+                )
+            elif isinstance(op, AntiJoin):
+                parts.append("  anti-join %s/%d" % (op.pred, op.arity))
+            elif isinstance(op, CmpOp):
+                parts.append("  filter %s" % ("=" if op.equal else "!="))
+            elif isinstance(op, ExtendDomain):
+                parts.append("  complete %s over universe" % op.var)
+            elif isinstance(op, ComplementJoin):
+                parts.append(
+                    "  complement-%s %s via !%s/%d (keyed on %s)"
+                    % (
+                        "check" if op.exists_only else "join",
+                        ", ".join(str(v) for v in op.vars),
+                        op.pred,
+                        op.arity,
+                        list(op.bound_columns) or "nothing",
+                    )
+                )
         return "\n".join(parts)

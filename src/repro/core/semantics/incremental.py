@@ -28,7 +28,7 @@ from ...db.database import Database
 from ...db.relation import Relation
 from ..literals import Atom
 from ..operator import empty_idb, theta
-from ..planning import compile_program, compile_rule, execute_plan
+from ..planning import PLAN_STORE, execute_plan
 from ..program import Program
 from ..rules import Rule
 from .base import EvaluationResult
@@ -69,13 +69,11 @@ def incremental_inflationary_semantics(
     for rule in program.rules:
         variants.extend(_delta_variants(rule, idb_preds))
 
-    # Plans are compiled once up front: the full program for round 1, the
+    # Plans come from the shared store: the full program for round 1, the
     # delta variants (joined through the small deltas first) for the rest.
     delta_preds = frozenset(_delta_name(p) for p in idb_preds)
-    program_plan = compile_program(program, db)
-    variant_plans = [
-        compile_rule(r, db=db, small_preds=delta_preds) for r in variants
-    ]
+    program_plan = PLAN_STORE.program_plan(program, db)
+    variant_plans = PLAN_STORE.rule_plans(variants, db=db, small_preds=delta_preds)
 
     n = len(db.universe)
     bound = sum(n ** program.arity(p) for p in idb_preds) + 1

@@ -29,7 +29,7 @@ from typing import List, Optional
 from ...db.database import Database
 from ..fixpoint import idb_equal, idb_union
 from ..operator import IDBMap, empty_idb, theta
-from ..planning import ProgramPlan, compile_program
+from ..planning import PLAN_STORE, ProgramPlan
 from ..program import Program
 from .base import EvaluationResult
 
@@ -60,7 +60,7 @@ def inflationary_semantics(
     bound = sum(n ** program.arity(p) for p in program.idb_predicates) + 1
     limit = bound if max_rounds is None else max_rounds
 
-    plan = compile_program(program, db)  # compiled once, executed per round
+    plan = PLAN_STORE.program_plan(program, db)  # shared store; compiled at most once
     current = empty_idb(program)
     trace: Optional[List[IDBMap]] = [dict(current)] if keep_trace else None
     rounds = 0
@@ -90,7 +90,7 @@ def theta_stage(program: Program, db: Database, n: int) -> IDBMap:
     """The paper's stage ``Theta^n`` (``n >= 0``; stage 0 is empty)."""
     if n < 0:
         raise ValueError("stage must be non-negative")
-    plan = compile_program(program, db)
+    plan = PLAN_STORE.program_plan(program, db)
     current = empty_idb(program)
     for _ in range(n):
         current = inflationary_step(program, db, current, plan=plan)

@@ -17,7 +17,7 @@ from typing import Optional
 from ...db.database import Database
 from ..fixpoint import idb_equal
 from ..operator import empty_idb, theta
-from ..planning import compile_program
+from ..planning import PLAN_STORE
 from ..program import Program
 from .base import EvaluationResult, SemanticsError, is_semipositive
 
@@ -58,7 +58,7 @@ def naive_least_fixpoint(
     bound = sum(n ** program.arity(p) for p in program.idb_predicates) + 1
     limit = bound if max_rounds is None else max_rounds
 
-    plan = compile_program(program, db)  # compiled once, executed per round
+    plan = PLAN_STORE.program_plan(program, db)  # shared store; compiled at most once
     current = empty_idb(program)
     trace = [dict(current)] if keep_trace else None
     rounds = 0

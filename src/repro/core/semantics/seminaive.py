@@ -19,7 +19,7 @@ from ...db.database import Database
 from ...db.relation import Relation
 from ..literals import Atom
 from ..operator import empty_idb
-from ..planning import compile_rule, execute_plan
+from ..planning import PLAN_STORE, execute_plan
 from ..program import Program
 from ..rules import Rule
 from .base import EvaluationResult, SemanticsError, is_semipositive
@@ -74,14 +74,14 @@ def seminaive_least_fixpoint(
     for r in program.rules:
         recursive_variants.extend(_delta_variants(r, idb_preds))
 
-    # Compile every rule once — the delta variants included — rather than
-    # re-planning per round; the planner joins through the (small) deltas
-    # first.
+    # Plans come from the shared store — the delta variants included —
+    # rather than compiling per run; the planner joins through the
+    # (small) deltas first.
     delta_preds = frozenset(_delta_name(p) for p in idb_preds)
-    base_plans = [compile_rule(r, db=db) for r in base_rules]
-    variant_plans = [
-        compile_rule(r, db=db, small_preds=delta_preds) for r in recursive_variants
-    ]
+    base_plans = PLAN_STORE.rule_plans(base_rules, db=db)
+    variant_plans = PLAN_STORE.rule_plans(
+        recursive_variants, db=db, small_preds=delta_preds
+    )
 
     n = len(db.universe)
     bound = sum(n ** program.arity(p) for p in idb_preds) + 1
@@ -96,7 +96,7 @@ def seminaive_least_fixpoint(
     for plan in base_plans:
         derived[plan.head_pred] |= execute_plan(plan, interp)
     delta = {
-        p: Relation(p, program.arity(p), derived[p] - set(current[p].tuples))
+        p: Relation(p, program.arity(p), derived[p] - current[p].tuples)
         for p in idb_preds
     }
     rounds = 0
@@ -113,7 +113,7 @@ def seminaive_least_fixpoint(
         for plan in variant_plans:
             derived[plan.head_pred] |= execute_plan(plan, interp)
         delta = {
-            p: Relation(p, program.arity(p), derived[p] - set(current[p].tuples))
+            p: Relation(p, program.arity(p), derived[p] - current[p].tuples)
             for p in idb_preds
         }
         if rounds > limit:

@@ -72,9 +72,11 @@ def stratified_semantics(
     Each stratum's rules form a program that is semipositive *given* the
     lower strata (their relations enter the working database as facts), so
     the semi-naive least-fixpoint engine applies.  Each stratum's rules
-    are compiled once by that engine (see :mod:`repro.core.planning`), and
-    the lower strata's frozen relations keep their cached indexes across
-    all upper-stratum rounds.
+    are compiled through the shared
+    :data:`~repro.core.planning.PLAN_STORE` under a (rules, working-db)
+    key — repeated runs over the same input reuse the plans of every
+    stratum — and the lower strata's frozen relations keep their cached
+    indexes across all upper-stratum rounds.
 
     Raises
     ------

@@ -10,9 +10,11 @@ semantics is unproblematic (e.g. paths), and leaves the odd-cycle atoms
 undefined — precisely the instances where ``(pi_1, D)`` has no fixpoint.
 
 Implementation: ground the program (the grounder evaluates each rule's
-EDB part through a compiled plan with cached indexes — see
-:mod:`repro.core.planning` and :mod:`repro.core.grounding`), then iterate
-the anti-monotone *stability operator* ``A``:
+EDB part through a plan fetched from the shared
+:data:`~repro.core.planning.PLAN_STORE` and executed set-at-a-time by
+the batch executor with cached indexes — see :mod:`repro.core.planning`
+and :mod:`repro.core.grounding`), then iterate the anti-monotone
+*stability operator* ``A``:
 
     A(I) = least model of the positive program obtained by evaluating
            every negative literal against I  (``not n`` holds iff n not in I)

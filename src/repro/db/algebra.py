@@ -12,6 +12,7 @@ of the relational algebra.
 
 from __future__ import annotations
 
+from functools import lru_cache as _lru_cache
 from itertools import product as _product
 from typing import Any, Callable, Iterable, Sequence, Tuple
 
@@ -161,6 +162,17 @@ def antijoin(
 def full_relation(name: str, arity: int, universe: Iterable[Any]) -> Relation:
     """The relation ``A^arity`` (used for active-domain completion)."""
     return Relation(name, arity, _product(tuple(universe), repeat=arity))
+
+
+@_lru_cache(maxsize=128)
+def universe_product(universe: frozenset, k: int) -> frozenset:
+    """``A^k`` as a frozenset of tuples, cached per (universe, k).
+
+    The batch executor's keyed complement steps subtract a projection of
+    matched tuples from this set; fixpoint engines call it every round
+    with the same universe, so the product is built once per process.
+    """
+    return frozenset(_product(tuple(universe), repeat=k))
 
 
 def _check_column(rel: Relation, column: int) -> None:

@@ -28,7 +28,7 @@ class Database:
         When true (default) verify that all tuples use universe elements.
     """
 
-    __slots__ = ("universe", "_relations")
+    __slots__ = ("universe", "_relations", "_active_domain", "_sorted_universe")
 
     def __init__(
         self,
@@ -160,9 +160,34 @@ class Database:
         return Database(self.universe, new.values(), check=False)
 
     def active_domain(self) -> frozenset:
-        """Elements that actually occur in some relation tuple."""
+        """Elements that actually occur in some relation tuple.
+
+        Computed once per database instance and cached; databases are
+        immutable (functional updates return new instances), so the cache
+        can never go stale.
+        """
+        try:
+            return self._active_domain
+        except AttributeError:
+            pass
         seen = set()
         for rel in self._relations.values():
             for t in rel:
                 seen.update(t)
-        return frozenset(seen)
+        domain = frozenset(seen)
+        self._active_domain = domain
+        return domain
+
+    def sorted_universe(self) -> Tuple[Any, ...]:
+        """The universe as a deterministically ordered tuple, cached.
+
+        ``sorted(..., key=repr)`` works for mixed value domains; callers
+        that need a stable iteration order (the plan executors, grounding)
+        share this one sort instead of re-sorting per call.
+        """
+        try:
+            return self._sorted_universe
+        except AttributeError:
+            ordered = tuple(sorted(self.universe, key=repr))
+            self._sorted_universe = ordered
+            return ordered

@@ -42,6 +42,17 @@ class HashIndex:
         """The distinct key values present in the index."""
         return self._buckets.keys()
 
+    def project(self, key: Tuple, positions: Sequence[int]) -> frozenset:
+        """Projections onto ``positions`` of the tuples matching ``key``.
+
+        This is the *excluded set* of a keyed complement step: the batch
+        executor subtracts it from ``universe**len(positions)`` to get the
+        values a completed variable may take under a negated literal.
+        """
+        return frozenset(
+            tuple(t[p] for p in positions) for t in self._buckets.get(tuple(key), ())
+        )
+
     def __len__(self) -> int:
         return sum(len(v) for v in self._buckets.values())
 

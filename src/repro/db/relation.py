@@ -36,7 +36,7 @@ class Relation:
         If some tuple's length differs from ``arity``.
     """
 
-    __slots__ = ("name", "arity", "_tuples", "_hash", "_index_cache")
+    __slots__ = ("name", "arity", "_tuples", "_hash", "_index_cache", "_complement_cache")
 
     def __init__(self, name: str, arity: int, tuples: Iterable[Tup] = ()) -> None:
         if arity < 0:
@@ -104,6 +104,31 @@ class Relation:
         if index is None:
             index = cache[cols] = HashIndex(self, cols)
         return index
+
+    def complement_on(self, universe) -> "Relation":
+        """The complement ``universe**arity - self``, cached on this relation.
+
+        This is the *complement representation* of a negated literal whose
+        variables are all completed over the universe: instead of
+        enumerating ``|A|^arity`` candidate tuples and filtering each one,
+        the batch executor joins directly against this relation.  Like
+        :meth:`index_on`, the cache is sound because relations are
+        immutable; it is keyed by the universe so the same relation value
+        can serve databases with different universes.
+        """
+        from .algebra import universe_product
+
+        key = universe if isinstance(universe, frozenset) else frozenset(universe)
+        try:
+            cache = self._complement_cache
+        except AttributeError:
+            cache = {}
+            self._complement_cache = cache
+        comp = cache.get(key)
+        if comp is None:
+            full = universe_product(key, self.arity)  # cached per (universe, arity)
+            comp = cache[key] = Relation("!" + self.name, self.arity, full - self._tuples)
+        return comp
 
     def __contains__(self, item: Tup) -> bool:
         return tuple(item) in self._tuples

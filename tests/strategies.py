@@ -19,6 +19,7 @@ from repro.core.terms import Variable
 _VARS = [Variable(n) for n in ("X", "Y", "Z")]
 _IDB_UNARY = "T"
 _IDB_BINARY = "S"
+_IDB_ZEROARY = "B"
 _EDB = "E"
 
 
@@ -40,44 +41,62 @@ def _atom_strategy(pred: str, arity: int):
 
 
 @st.composite
-def body_literals(draw, allow_idb_negation: bool):
-    """One random body literal over E/2, T/1, S/2 and X, Y, Z."""
-    kind = draw(
-        st.sampled_from(
-            ["edb", "idb1", "idb2", "neg_edb", "eq", "neq"]
-            + (["neg_idb1", "neg_idb2"] if allow_idb_negation else [])
-        )
-    )
+def body_literals(draw, allow_idb_negation: bool, include_zeroary: bool = False):
+    """One random body literal over E/2, T/1, S/2 (and B/0) and X, Y, Z."""
+    kinds = ["edb", "idb1", "idb2", "neg_edb", "eq", "neq"]
+    if allow_idb_negation:
+        kinds += ["neg_idb1", "neg_idb2"]
+    if include_zeroary:
+        kinds += ["idb0"] + (["neg_idb0"] if allow_idb_negation else [])
+    kind = draw(st.sampled_from(kinds))
     if kind == "edb":
         return draw(_atom_strategy(_EDB, 2))
     if kind == "idb1":
         return draw(_atom_strategy(_IDB_UNARY, 1))
     if kind == "idb2":
         return draw(_atom_strategy(_IDB_BINARY, 2))
+    if kind == "idb0":
+        return Atom(_IDB_ZEROARY, ())
     if kind == "neg_edb":
         return Negation(draw(_atom_strategy(_EDB, 2)))
     if kind == "neg_idb1":
         return Negation(draw(_atom_strategy(_IDB_UNARY, 1)))
     if kind == "neg_idb2":
         return Negation(draw(_atom_strategy(_IDB_BINARY, 2)))
+    if kind == "neg_idb0":
+        return Negation(Atom(_IDB_ZEROARY, ()))
     left, right = draw(st.tuples(st.sampled_from(_VARS), st.sampled_from(_VARS)))
     return Eq(left, right) if kind == "eq" else Neq(left, right)
 
 
 @st.composite
-def random_programs(draw, allow_idb_negation: bool = True, max_rules: int = 4):
+def random_programs(
+    draw,
+    allow_idb_negation: bool = True,
+    max_rules: int = 4,
+    include_zeroary: bool = False,
+):
     """A random program with IDB predicates T/1 and S/2 over EDB E/2.
 
     Both IDB predicates always head at least one rule, so arities are
-    well-defined and every engine can run.
+    well-defined and every engine can run.  With ``include_zeroary`` the
+    program also defines and uses a zero-ary (propositional) predicate
+    B/0 — the degenerate relation shape the batch executor must handle.
     """
+    signatures = [(_IDB_UNARY, 1), (_IDB_BINARY, 2)]
+    if include_zeroary:
+        signatures.append((_IDB_ZEROARY, 0))
     rules = []
-    for pred, arity in ((_IDB_UNARY, 1), (_IDB_BINARY, 2)):
+    for pred, arity in signatures:
         n_rules = draw(st.integers(min_value=1, max_value=max_rules))
         for _ in range(n_rules):
-            head = draw(_atom_strategy(pred, arity))
+            head = draw(_atom_strategy(pred, arity)) if arity else Atom(pred, ())
             body = draw(
-                st.lists(body_literals(allow_idb_negation), min_size=0, max_size=3)
+                st.lists(
+                    body_literals(allow_idb_negation, include_zeroary),
+                    min_size=0,
+                    max_size=3,
+                )
             )
             rules.append(Rule(head, body))
     return Program(rules, carrier=_IDB_UNARY)

@@ -84,3 +84,19 @@ def test_equality_and_hash():
 def test_relation_names_sorted():
     db = Database({1}, [Relation("Z", 1, []), Relation("A", 1, [])])
     assert db.relation_names() == ("A", "Z")
+
+
+def test_active_domain_cached_per_instance():
+    db = Database({1, 2, 3, 4}, [Relation("E", 2, [(1, 2), (2, 3)])])
+    first = db.active_domain()
+    assert first == frozenset({1, 2, 3})
+    assert db.active_domain() is first  # computed once per instance
+
+
+def test_sorted_universe_cached_and_deterministic():
+    db = Database({3, 1, 2}, [])
+    ordered = db.sorted_universe()
+    assert ordered == (1, 2, 3)
+    assert db.sorted_universe() is ordered
+    # Functional updates are fresh instances with fresh caches.
+    assert db.with_relation(Relation("E", 2, [])).sorted_universe() == (1, 2, 3)

@@ -102,3 +102,11 @@ def test_index_cache_does_not_affect_equality_or_hash():
     indexed.index_on((0,))
     assert plain == indexed
     assert hash(plain) == hash(indexed)
+
+
+def test_index_project_returns_matched_projections():
+    rel = Relation("S", 3, [(1, 2, 3), (1, 5, 6), (2, 7, 8)])
+    index = rel.index_on((0,))
+    assert index.project((1,), (1, 2)) == {(2, 3), (5, 6)}
+    assert index.project((1,), (2,)) == {(3,), (6,)}
+    assert index.project((9,), (1, 2)) == frozenset()

@@ -1,0 +1,117 @@
+"""Unit tests for the (program, db)-keyed plan store.
+
+The store is what lets every engine — and the grounder behind the
+well-founded/SAT pipelines — share one compilation per input.  These
+tests pin down the cache contract: exact value-keyed hits, separate
+entries per compilation context (database statistics, small-predicate
+hints), LRU bounding, and targeted invalidation.
+"""
+
+from __future__ import annotations
+
+from repro import Database, Relation, parse_program
+from repro.core.planning import PLAN_STORE, PlanStore
+from repro.core.semantics import naive_least_fixpoint, stratified_semantics
+from repro.graphs import generators as gg
+from repro.graphs.encode import graph_to_database
+
+
+def _db(edges=((1, 2), (2, 3))):
+    return Database({1, 2, 3}, [Relation("E", 2, edges)])
+
+
+def _tc():
+    return parse_program("S(X, Y) :- E(X, Y). S(X, Y) :- E(X, Z), S(Z, Y).")
+
+
+def test_program_plan_hits_on_equal_program_and_db():
+    store = PlanStore()
+    first = store.program_plan(_tc(), _db())
+    second = store.program_plan(_tc(), _db())  # equal values, fresh objects
+    assert first is second
+    assert store.hits == 1 and store.misses == 1
+
+
+def test_rule_plan_hits_and_counts():
+    store = PlanStore()
+    rule = _tc().rules[0]
+    a = store.rule_plan(rule)
+    b = store.rule_plan(rule)
+    assert a is b
+    assert store.stats() == (1, 1, 1)
+
+
+def test_distinct_databases_get_distinct_entries():
+    store = PlanStore()
+    store.program_plan(_tc(), _db())
+    store.program_plan(_tc(), _db(edges=((1, 2),)))
+    store.program_plan(_tc())  # no statistics at all
+    assert store.misses == 3 and store.hits == 0 and len(store) == 3
+
+
+def test_small_preds_hint_is_part_of_the_key():
+    store = PlanStore()
+    rule = parse_program("S(X, Y) :- E(X, Z), S(Z, Y).").rules[0]
+    plain = store.rule_plan(rule, _db())
+    hinted = store.rule_plan(rule, _db(), small_preds=frozenset({"S"}))
+    assert plain is not hinted
+    assert store.misses == 2
+
+
+def test_lru_eviction_respects_maxsize():
+    store = PlanStore(maxsize=2)
+    rules = parse_program(
+        "T(X) :- E(X, Y). S(X, Y) :- E(X, Y). R(X) :- E(X, X)."
+    ).rules
+    for r in rules:
+        store.rule_plan(r)
+    assert len(store) == 2  # the first entry was evicted
+    store.rule_plan(rules[0])  # gone, so a recompile
+    assert store.misses == 4 and store.hits == 0
+
+
+def test_invalidate_by_database():
+    store = PlanStore()
+    db_a, db_b = _db(), _db(edges=((3, 1),))
+    store.program_plan(_tc(), db_a)
+    store.program_plan(_tc(), db_b)
+    dropped = store.invalidate(db=db_a)
+    assert dropped == 1 and len(store) == 1
+    store.program_plan(_tc(), db_b)
+    assert store.hits == 1  # the other database's entry survived
+
+
+def test_invalidate_by_program_drops_its_rules_too():
+    store = PlanStore()
+    program, other = _tc(), parse_program("T(X) :- E(X, X).")
+    store.program_plan(program, _db())
+    store.rule_plans(program.rules, _db())
+    store.rule_plan(other.rules[0], _db())
+    dropped = store.invalidate(program=program)
+    assert dropped == 3  # the program entry plus its two rule entries
+    assert len(store) == 1  # the unrelated rule stays
+
+
+def test_invalidate_everything_and_clear():
+    store = PlanStore()
+    store.program_plan(_tc(), _db())
+    assert store.invalidate() == 1 and len(store) == 0
+    store.program_plan(_tc(), _db())
+    store.clear()
+    assert store.stats() == (0, 0, 0)
+
+
+def test_engines_share_the_global_store():
+    # Two runs of the same engine on the same input: the second compiles
+    # nothing.  Stratified evaluation funnels through the same store, so
+    # its strata reuse whatever equal (rules, db) entries exist.
+    program, db = _tc(), graph_to_database(gg.path(5))
+    naive_least_fixpoint(program, db)
+    hits_before = PLAN_STORE.hits
+    naive_least_fixpoint(program, db)
+    assert PLAN_STORE.hits > hits_before
+
+    hits_before = PLAN_STORE.hits
+    stratified_semantics(program, db)
+    stratified_semantics(program, db)
+    assert PLAN_STORE.hits > hits_before

@@ -2,12 +2,17 @@
 
 The load-bearing guarantees:
 
-* compiled rule execution is *extensionally identical* to the legacy
-  per-round evaluator on arbitrary rules, including repeated variables,
-  constants, and unsafe active-domain completion;
+* **three-way equivalence**: on arbitrary rules — including repeated
+  variables, constants, zero-ary relations, and unsafe active-domain
+  completion — the legacy per-round evaluator, the PR-1 tuple-at-a-time
+  dict executor, and the set-at-a-time batch executor (anti-join
+  negation, complement-based completion) all derive the same tuples;
 * every engine that now evaluates through plans (naive, semi-naive,
   inflationary, incremental, stratified) computes the same valuations as
-  the legacy uncompiled Theta iteration.
+  the legacy uncompiled Theta iteration;
+* the batch compiler actually schedules negations as anti-joins and
+  complement joins (plan-shape tests), so the fast paths cannot silently
+  regress to enumerate-then-filter.
 """
 
 from __future__ import annotations
@@ -27,7 +32,17 @@ from repro.core.operator import (
     theta,
     theta_legacy,
 )
-from repro.core.planning import compile_program, compile_rule, execute_plan
+from repro.core.planning import (
+    AntiJoin,
+    ComplementJoin,
+    ExtendDomain,
+    compile_program,
+    compile_rule,
+    execute_plan,
+    execute_plan_rows_legacy,
+    solve_plan,
+    solve_plan_rows_legacy,
+)
 from repro.core.semantics import (
     incremental_inflationary_semantics,
     inflationary_semantics,
@@ -63,8 +78,17 @@ def legacy_inflationary(program, db):
 
 
 # ----------------------------------------------------------------------
-# Single-rule equivalence: compiled == legacy
+# Single-rule equivalence: batch == dict executor == legacy (three-way)
 # ----------------------------------------------------------------------
+
+
+def assert_three_way(rule, interp, arities):
+    """Legacy evaluator, dict executor, and batch executor must agree."""
+    plan = compile_rule(rule)
+    legacy = evaluate_rule_legacy(rule, interp, arities)
+    dict_rows = execute_plan_rows_legacy(plan, interp)
+    batch = execute_plan(plan, interp)
+    assert batch == dict_rows == legacy
 
 
 @given(random_programs(), small_databases())
@@ -75,6 +99,34 @@ def test_evaluate_rule_matches_legacy_on_random_rules(program, db):
         assert evaluate_rule(rule, interp, arities) == evaluate_rule_legacy(
             rule, interp, arities
         )
+
+
+@given(random_programs(include_zeroary=True), small_databases())
+def test_three_way_executor_equivalence_on_random_rules(program, db):
+    # Evaluate against a non-trivial interpretation (one legacy Theta step)
+    # so negated IDB literals actually exclude something.
+    interp = as_interpretation(program, db, theta_legacy(program, db))
+    arities = program.arities
+    for rule in program.rules:
+        assert_three_way(rule, interp, arities)
+
+
+@given(random_programs(include_zeroary=True), small_databases())
+def test_batch_bindings_match_dict_bindings_under_total_heads(program, db):
+    # With a pseudo-head naming every rule variable (the grounder's
+    # construction) no variable is existence-projected, so the two
+    # executors must produce identical *binding sets*, not just head sets.
+    from repro.core.literals import Atom
+    from repro.core.rules import Rule
+
+    interp = as_interpretation(program, db, theta_legacy(program, db))
+    for rule in program.rules:
+        all_vars = sorted(rule.variables(), key=lambda v: v.name)
+        pseudo = Rule(Atom("__all__", tuple(all_vars)), rule.body)
+        plan = compile_rule(pseudo)
+        batch = {frozenset(b.items()) for b in solve_plan(plan, interp)}
+        dicts = {frozenset(b.items()) for b in solve_plan_rows_legacy(plan, interp)}
+        assert batch == dicts
 
 
 @given(random_programs(), small_databases())
@@ -101,10 +153,21 @@ def test_theta_matches_legacy_theta(program, db):
         "S(X, Y) :- T(X), T(Y), X != Y. T(X) :- E(X, Y), X = Y.",
         # Filters only ready during completion.
         "T(X) :- !E(X, X). S(X, Y) :- !E(X, Y), X != Y.",
+        # The paper's toggle gadget: every variable completed, negation-only.
+        "T(Z) :- !Q(U), !T(W). Q(X) :- Q(X).",
+        # Fully-unsafe rules: every variable of every rule is completed.
+        "S(U, V) :- !E(U, V). T(W) :- !S(W, W).",
+        # Repeated *head* variables fed by completion.
+        "S(W, W) :- !T(W). T(X) :- E(X, Y).",
+        # Zero-ary relations, positive and negated.
+        "B() :- E(X, Y). T(X) :- E(X, Y), !B().",
+        "B() :- !C(). C() :- E(X, X). T(Z) :- !B().",
+        # Keyed complement: the negated atom mixes bound and completed vars.
+        "S(X, W) :- E(X, Y), !S(X, W). T(X) :- E(X, Y), !S(Y, W).",
     ],
 )
 def test_compiled_rules_handle_hard_shapes(source):
-    program = parse_program(source)
+    program = parse_program(source, carrier="T")
     db = Database(
         {1, 2, 3}, [Relation("E", 2, [(1, 2), (2, 2), (2, 3), (3, 1)])]
     )
@@ -113,9 +176,9 @@ def test_compiled_rules_handle_hard_shapes(source):
         interp = as_interpretation(program, db, current)
         for rule in program.rules:
             plan = compile_rule(rule, db=db)
-            assert execute_plan(plan, interp) == evaluate_rule_legacy(
-                rule, interp, program.arities
-            )
+            legacy = evaluate_rule_legacy(rule, interp, program.arities)
+            assert execute_plan(plan, interp) == legacy
+            assert execute_plan_rows_legacy(plan, interp) == legacy
         current = theta(program, db, current)
 
 
@@ -131,6 +194,77 @@ def test_plan_shape_for_transitive_closure():
     assert first.key_columns == ()  # nothing bound yet
     assert len(second.key_columns) == 1
     assert "join" in plan.describe()
+
+
+def test_batch_plan_uses_antijoin_for_bound_negation():
+    program = parse_program("T(X) :- E(X, Y), !T(Y).")
+    plan = compile_rule(program.rules[0])
+    kinds = [type(op) for op in plan.ops]
+    assert AntiJoin in kinds
+    assert ComplementJoin not in kinds and ExtendDomain not in kinds
+
+
+def test_batch_plan_schedules_complement_join_for_unsafe_negation():
+    # The E8 distance shape: completion variables feed a negated IDB atom,
+    # and they are in the head, so the complement is materialised and
+    # cross-joined rather than enumerated-then-filtered.
+    program = parse_program(
+        "S3(X, Y, U, V) :- E(X, Y), !S2(U, V). S2(X, Y) :- E(X, Y).",
+        carrier="S3",
+    )
+    plan = compile_rule(program.rules[0])
+    comp = [op for op in plan.ops if isinstance(op, ComplementJoin)]
+    assert len(comp) == 1
+    assert comp[0].pred == "S2" and not comp[0].exists_only
+    assert not comp[0].bound_columns  # pure complement: no keyed positions
+    assert not any(isinstance(op, ExtendDomain) for op in plan.ops)
+
+
+def test_batch_plan_uses_existence_checks_for_projected_completions():
+    # Theorem 1's guarded toggle: U and W are head-absent and feed one
+    # negation each, so neither may multiply the row set.
+    program = parse_program("T(Z) :- !Q(U), !T(W). Q(X) :- Q(X).", carrier="T")
+    plan = compile_rule(program.rules[0])
+    comp = [op for op in plan.ops if isinstance(op, ComplementJoin)]
+    assert len(comp) == 2 and all(op.exists_only for op in comp)
+    # Z is in the head: it still extends over the universe, but the
+    # existence checks run first so they never see multiplied rows.
+    extend_at = [i for i, op in enumerate(plan.ops) if isinstance(op, ExtendDomain)]
+    comp_at = [i for i, op in enumerate(plan.ops) if isinstance(op, ComplementJoin)]
+    assert extend_at and max(comp_at) < min(extend_at)
+    # The schema carries only what downstream reads: Z, not U or W.
+    assert [v.name for v in plan.schema] == ["Z"]
+
+
+def test_batch_plan_keys_complement_on_bound_positions():
+    program = parse_program("T(X) :- E(X, Y), !S(Y, W). S(X, Y) :- E(X, Y).")
+    plan = compile_rule(program.rules[0])
+    comp = [op for op in plan.ops if isinstance(op, ComplementJoin)]
+    assert len(comp) == 1
+    assert comp[0].bound_columns == (0,)  # keyed on the bound Y position
+    assert comp[0].free_positions == (1,)
+    assert comp[0].exists_only  # W is head-absent and feeds nothing else
+
+
+def test_existence_checks_ignore_out_of_universe_tuples():
+    # Rules can derive head constants the database never mentions; such
+    # tuples must not make an existence-only complement check think the
+    # relation covers the universe.  (Regression: the check used to
+    # compare raw cardinalities against |A|^k.)
+    program = parse_program("Q(2) :- . T(X) :- E(X, X), !Q(W).", carrier="T")
+    db = Database({1}, [Relation("E", 2, [(1, 1)])])
+    interp = as_interpretation(
+        program, db, {"Q": Relation("Q", 1, [(2,)]), "T": Relation("T", 1, [])}
+    )
+    rule = program.rules[1]
+    assert_three_way(rule, interp, program.arities)
+    assert evaluate_rule(rule, interp) == {(1,)}
+    # Keyed variant: the excluded projection carries the foreign value.
+    program2 = parse_program("S(1, 2) :- . T(X) :- E(X, Y), !S(Y, W).", carrier="T")
+    interp2 = as_interpretation(
+        program2, db, {"S": Relation("S", 2, [(1, 2)]), "T": Relation("T", 1, [])}
+    )
+    assert_three_way(program2.rules[1], interp2, program2.arities)
 
 
 def test_program_plan_consequences_groups_by_head():
