@@ -2,12 +2,13 @@
 
 Runs the requested experiments and prints their tables; used to generate
 EXPERIMENTS.md and for quick eyeballing.  ``--json`` emits the same
-tables as machine-readable data — ``BENCH_PR2.json`` at the repo root is
+tables as machine-readable data — ``BENCH_PR3.json`` at the repo root is
 a committed snapshot of ``python -m repro.bench perf --json``.
 
-``python -m repro.bench check --baseline BENCH_PR2.json [--factor F]
+``python -m repro.bench check --baseline BENCH_PR3.json [--factor F]
 [--floor S] [ids...]`` re-runs the experiments (default: ``perf``) and
-fails when any shipped-path timing cell regressed more than ``F``-fold
+fails when any shipped-path timing cell — evaluation *and*
+materialized-view update latency — regressed more than ``F``-fold
 against the committed baseline; CI runs it as the perf gate.
 """
 
@@ -19,8 +20,9 @@ import time
 
 from .harness import all_experiments, experiment
 
-_TIMING_COLUMNS = frozenset({"compiled s", "batch s"})
-"""Shipped-path timing columns the regression gate compares."""
+_TIMING_COLUMNS = frozenset({"compiled s", "batch s", "update s"})
+"""Shipped-path timing columns the regression gate compares: compiled
+plan execution, batch execution, and materialized-view update latency."""
 
 
 def _run_experiments(ids):

@@ -1,16 +1,18 @@
 """Perf experiment: compiled batch execution vs. the older pipelines.
 
 Registered in the same harness as E1–E9 so ``python -m repro.bench perf``
-prints two tables of wall-clock times per engine: the shipped path
-(compiled plans, set-at-a-time batch executor) against the seed's legacy
-evaluator, and against the PR-1 tuple-at-a-time dict executor — the
-latter is where the completion-bound distance program shows the
-complement-representation win.  The ``ok`` column asserts what actually
-matters for correctness — all paths produce the same valuations — while
-the timing columns document the win; speedups vary by machine, so they
-are reported, not asserted.  ``--json`` emits the same tables as data;
-``BENCH_PR2.json`` is a committed snapshot the CI regression gate
-compares against.
+prints three tables of wall-clock times: the shipped path (compiled
+plans, set-at-a-time batch executor) against the seed's legacy
+evaluator; against the PR-1 tuple-at-a-time dict executor — where the
+completion-bound distance program shows the complement-representation
+win; and the materialized-view scenario — single-tuple EDB update
+latency through ``MaterializedView`` against from-scratch stratified
+recomputation.  The ``ok`` columns assert what actually matters for
+correctness — all paths produce the same valuations — while the timing
+columns document the wins; speedups vary by machine, so they are
+reported, not asserted.  ``--json`` emits the same tables as data;
+``BENCH_PR3.json`` is a committed snapshot the CI regression gate
+compares against (``compiled s``, ``batch s`` and ``update s`` cells).
 """
 
 from __future__ import annotations
@@ -37,6 +39,7 @@ from ..graphs import generators as gg
 from ..graphs.encode import graph_to_database
 from ..queries import distance_program, pi1, transitive_closure_program
 from .harness import Table, register
+from .materialize_perf import materialize_table
 
 
 def _legacy_least_fixpoint(program: Program, db: Database) -> IDBMap:
@@ -170,4 +173,7 @@ def run_perf() -> List[Table]:
         "both columns execute the same compiled plans; only the execution "
         "model differs (BindingTable + anti-join/complement vs dict rows)"
     )
-    return [table, batch_table]
+
+    # The serving path: materialized-view single-tuple update latency
+    # against from-scratch stratified recomputation (PR-3 subsystem).
+    return [table, batch_table, materialize_table()]

@@ -1,13 +1,18 @@
-"""Command-line interface: evaluate, analyse, and classify programs.
+"""Command-line interface: evaluate, analyse, classify, update programs.
 
 Usage::
 
     python -m repro run PROGRAM.dl --db DIR [--semantics inflationary]
     python -m repro analyze PROGRAM.dl --db DIR [--count-limit N]
     python -m repro classify PROGRAM.dl
+    python -m repro update PROGRAM.dl --db DIR --delta DIR [--semantics ...]
 
 ``--db DIR`` points at a directory of headerless ``<relation>.csv`` files
 (one tuple per row); the schema is inferred from the program's EDB arities.
+``update`` builds a materialized view over the database, applies the
+delta found in ``--delta DIR`` (``<relation>.insert.csv`` /
+``<relation>.delete.csv``, validated against the EDB schema) and prints
+the changeset — every EDB and IDB tuple that moved.
 """
 
 from __future__ import annotations
@@ -78,6 +83,26 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_update(args: argparse.Namespace) -> int:
+    """Apply a CSV delta to a materialized view and print the changeset."""
+    from .materialize import MaterializedView
+
+    program = _load_program(args.program, carrier=args.carrier)
+    db = _load_database(args.db, program)
+    schema = {pred: program.arity(pred) for pred in program.edb_predicates}
+    delta = csvio.load_delta(args.delta, schema)
+    view = MaterializedView(program, db, semantics=args.semantics)
+    changeset = view.apply(delta)
+    print(
+        "engine=%s semantics=%s delta=%r"
+        % (view.result.engine, args.semantics, delta)
+    )
+    print(changeset.format())
+    if args.out:
+        csvio.dump_database(view.db, args.out)
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     """Fixpoint analysis: existence, uniqueness, count, least fixpoint."""
     program = _load_program(args.program, carrier=args.carrier)
@@ -138,6 +163,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--carrier", default=None, help="goal predicate")
     run.set_defaults(fn=cmd_run)
+
+    update = sub.add_parser(
+        "update", help="apply a CSV delta to a materialized view"
+    )
+    update.add_argument("program", help="path to a .dl program file")
+    update.add_argument("--db", required=True, help="directory of <name>.csv files")
+    update.add_argument(
+        "--delta",
+        required=True,
+        help="directory of <name>.insert.csv / <name>.delete.csv files",
+    )
+    update.add_argument(
+        "--semantics", choices=["stratified", "inflationary"], default="stratified"
+    )
+    update.add_argument("--carrier", default=None, help="goal predicate")
+    update.add_argument(
+        "--out", default=None, help="write the post-delta database here"
+    )
+    update.set_defaults(fn=cmd_update)
 
     analyze = sub.add_parser("analyze", help="fixpoint existence/uniqueness/least")
     analyze.add_argument("program")

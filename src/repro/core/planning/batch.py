@@ -110,9 +110,16 @@ def solve_plan_table(plan: RulePlan, interp: Database) -> BindingTable:
                 # Constant (or empty) key: one probe serves every row.
                 matches = lookup(tuple(payload for _, payload in key_spec))
                 matches = _dedup_check(matches, dup_checks)
-                for row in rows:
-                    for m in matches:
-                        append(row + tuple(m[p] for p in out_positions))
+                if out_positions == tuple(range(op.arity)):
+                    # A fresh atom binding every position in order (delta
+                    # atoms, typically) appends matched tuples wholesale.
+                    for row in rows:
+                        for m in matches:
+                            append(row + m)
+                else:
+                    for row in rows:
+                        for m in matches:
+                            append(row + tuple(m[p] for p in out_positions))
             elif dup_checks:
                 for row in rows:
                     key = tuple(
@@ -227,37 +234,45 @@ def _complement_join(
         return [row + v for row in rows for v in values]
 
     # Keyed case: group rows by the bound part of the atom and extend each
-    # group with A^k minus the matched projections — one index probe and
-    # one set difference per *distinct key*, not per row.
-    index = rel.index_on(op.bound_columns)
+    # group with A^k minus the matched projections — one probe per
+    # *distinct key*, not per row.  The non-existence-check path goes
+    # through the relation-cached KeyedComplement, so allowed-sets
+    # survive across rounds and are *patched* (via eager cache
+    # inheritance on the evolving relations) when
+    # the relation gains or loses tuples, instead of being recomputed.
     bound_key = op.bound_key
-    free_positions = op.free_positions
     exists_only = op.exists_only
-    full = None if exists_only else universe_product(interp.universe, k)
-    cache: Dict[Tuple, Any] = {}
     out: List[Row] = []
     append = out.append
+    if exists_only:
+        index = rel.index_on(op.bound_columns)
+        free_positions = op.free_positions
+        cache: Dict[Tuple, Any] = {}
+        for row in rows:
+            key = tuple(
+                payload if is_const else row[payload]
+                for is_const, payload in bound_key
+            )
+            allowed = cache.get(key)
+            if allowed is None:
+                excluded = index.project(key, free_positions)
+                allowed = cache[key] = not _covers_universe(
+                    excluded, interp.universe, k
+                )
+            if allowed:
+                append(row)
+        return out
+    keyed = rel.keyed_complement_on(
+        interp.universe, op.bound_columns, op.free_positions
+    )
+    get_allowed = keyed.get
     for row in rows:
         key = tuple(
             payload if is_const else row[payload]
             for is_const, payload in bound_key
         )
-        allowed = cache.get(key)
-        if allowed is None:
-            excluded = index.project(key, free_positions)
-            if exists_only:
-                allowed = not _covers_universe(excluded, interp.universe, k)
-            elif excluded:
-                allowed = full - excluded
-            else:
-                allowed = full
-            cache[key] = allowed
-        if exists_only:
-            if allowed:
-                append(row)
-        else:
-            for values in allowed:
-                append(row + values)
+        for values in get_allowed(key):
+            append(row + values)
     return out
 
 

@@ -41,12 +41,17 @@ def load_relation(path: PathLike, name: str, arity: int) -> Relation:
     return Relation(name, arity, tuples)
 
 
-def dump_relation(rel: Relation, path: PathLike) -> None:
-    """Write a relation as headerless CSV, rows sorted for determinism."""
+def _write_rows(path: PathLike, rows) -> None:
+    """Write tuples as headerless CSV, rows sorted for determinism."""
     with open(path, "w", newline="") as f:
         writer = csv.writer(f)
-        for t in sorted(rel, key=repr):
+        for t in sorted(rows, key=repr):
             writer.writerow(t)
+
+
+def dump_relation(rel: Relation, path: PathLike) -> None:
+    """Write a relation as headerless CSV, rows sorted for determinism."""
+    _write_rows(path, rel)
 
 
 def load_database(directory: PathLike, schema: dict) -> Database:
@@ -71,3 +76,68 @@ def dump_database(db: Database, directory: PathLike) -> None:
     directory.mkdir(parents=True, exist_ok=True)
     for name in db.relation_names():
         dump_relation(db[name], directory / ("%s.csv" % name))
+
+
+# ----------------------------------------------------------------------
+# Deltas: <relation>.insert.csv / <relation>.delete.csv
+# ----------------------------------------------------------------------
+
+_INSERT_SUFFIX = ".insert.csv"
+_DELETE_SUFFIX = ".delete.csv"
+
+
+def load_delta(directory: PathLike, schema: dict) -> "Delta":
+    """Load a :class:`~repro.materialize.delta.Delta` from a directory.
+
+    Changes live in headerless ``<relation>.insert.csv`` and
+    ``<relation>.delete.csv`` files (either may be absent — an absent
+    file is an empty change).  ``schema`` maps relation names to
+    arities, normally the program's EDB schema.  The directory is
+    treated as dedicated to this one delta: a file matching neither
+    suffix, a file naming a non-schema relation, and a row of the wrong
+    arity all fail loudly instead of silently feeding the view nothing.
+    """
+    from ..materialize.delta import Delta
+
+    directory = Path(directory)
+    problems = []
+    for path in sorted(directory.iterdir()):
+        if path.name.endswith(_INSERT_SUFFIX):
+            name = path.name[: -len(_INSERT_SUFFIX)]
+        elif path.name.endswith(_DELETE_SUFFIX):
+            name = path.name[: -len(_DELETE_SUFFIX)]
+        else:
+            # The directory is dedicated to one delta: a file matching
+            # neither suffix is almost certainly a typo (E.inserts.csv,
+            # E.Insert.csv) that would otherwise be skipped silently.
+            problems.append("unrecognised file %s" % path.name)
+            continue
+        if name not in schema:
+            problems.append("relation %r is outside the schema" % name)
+    if problems:
+        raise ValueError(
+            "delta directory %s: %s" % (directory, "; ".join(problems))
+        )
+    inserts = {}
+    deletes = {}
+    for name, arity in schema.items():
+        ins_path = directory / (name + _INSERT_SUFFIX)
+        del_path = directory / (name + _DELETE_SUFFIX)
+        if ins_path.exists():
+            inserts[name] = load_relation(ins_path, name, arity).tuples
+        if del_path.exists():
+            deletes[name] = load_relation(del_path, name, arity).tuples
+    return Delta(inserts=inserts, deletes=deletes)
+
+
+def dump_delta(delta, directory: PathLike) -> None:
+    """Write a delta as ``<relation>.insert.csv`` / ``.delete.csv`` files.
+
+    Empty sides are not written, so ``load_delta`` round-trips exactly.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for name, (inserts, deletes) in delta.items():
+        for suffix, tuples in ((_INSERT_SUFFIX, inserts), (_DELETE_SUFFIX, deletes)):
+            if tuples:
+                _write_rows(directory / (name + suffix), tuples)

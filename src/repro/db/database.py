@@ -159,6 +159,56 @@ class Database:
         new = {k: v for k, v in self._relations.items() if k in keep}
         return Database(self.universe, new.values(), check=False)
 
+    def apply_delta(self, delta, invalidate_plans: bool = True) -> "Database":
+        """Apply per-relation insert/delete sets, returning a new database.
+
+        ``delta`` is a :class:`repro.materialize.delta.Delta` (or any
+        mapping-like object with ``.items()`` yielding
+        ``(name, (inserts, deletes))``).  Every named relation must exist;
+        tuples must match its arity.  The universe is extended with any
+        values the inserted tuples introduce — deletions never shrink it
+        (the paper's semantics quantifies over the whole universe, so
+        dropping elements would silently change the meaning of unsafe
+        rules; callers that want a trimmed universe rebuild explicitly).
+
+        Each changed relation is produced with :meth:`Relation.evolve`,
+        so its cached indexes, complements and keyed complements are
+        patched from the old value's caches rather than rebuilt.  Plans
+        compiled against *this* (pre-delta) database value are dropped
+        from the process-wide plan store — this is the mutation API, and
+        the one code path where a database value is superseded rather
+        than merely derived from, so it owns the
+        :meth:`~repro.core.planning.PlanStore.invalidate` call.
+
+        Returns ``self`` unchanged (all caches intact) when the delta is
+        a no-op against the current contents.
+        """
+        new_rels: Dict[str, Relation] = dict(self._relations)
+        new_values = set()
+        changed = False
+        for name, (inserts, deletes) in delta.items():
+            try:
+                rel = self._relations[name]
+            except KeyError:
+                raise KeyError(
+                    "delta names relation %r which is not in the database" % name
+                ) from None
+            evolved = rel.evolve(inserts, deletes)
+            if evolved is not rel:
+                changed = True
+                new_rels[name] = evolved
+                for t in inserts:
+                    new_values.update(t)
+        if not changed:
+            return self
+        universe = self.universe | frozenset(new_values)
+        out = Database(universe, new_rels.values(), check=False)
+        if invalidate_plans:
+            from ..core.planning import PLAN_STORE
+
+            PLAN_STORE.invalidate(db=self)
+        return out
+
     def active_domain(self) -> frozenset:
         """Elements that actually occur in some relation tuple.
 

@@ -36,7 +36,15 @@ class Relation:
         If some tuple's length differs from ``arity``.
     """
 
-    __slots__ = ("name", "arity", "_tuples", "_hash", "_index_cache", "_complement_cache")
+    __slots__ = (
+        "name",
+        "arity",
+        "_tuples",
+        "_hash",
+        "_index_cache",
+        "_complement_cache",
+        "_keyed_complement_cache",
+    )
 
     def __init__(self, name: str, arity: int, tuples: Iterable[Tup] = ()) -> None:
         if arity < 0:
@@ -56,6 +64,23 @@ class Relation:
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
+
+    @classmethod
+    def _from_frozenset(cls, name: str, arity: int, frozen: frozenset) -> "Relation":
+        """Internal fast path: adopt an already-validated frozenset.
+
+        Set operations on ``_tuples`` (union/difference/evolve) produce
+        frozensets whose members are known-good tuples of the right
+        arity; re-freezing and re-validating them through ``__init__``
+        is the dominant cost of evolving big relations, so the derived
+        constructors skip it.
+        """
+        self = object.__new__(cls)
+        self.name = name
+        self.arity = arity
+        self._tuples = frozen
+        self._hash = hash((name, arity, frozen))
+        return self
 
     @classmethod
     def empty(cls, name: str, arity: int) -> "Relation":
@@ -88,9 +113,10 @@ class Relation:
         Because relations are immutable, an index built once is valid for
         the relation's whole lifetime; the cache (keyed by the column
         tuple) lets every fixpoint round after the first reuse the indexes
-        of unchanged relations instead of rebuilding them.  Derived
-        relations (``union``, ``difference``, ...) are new objects and so
-        start with an empty cache — there is no stale-index hazard.
+        of unchanged relations instead of rebuilding them.  Relations
+        derived by ``union``/``difference``/:meth:`evolve` *inherit*
+        their parent's materialised caches, patched with the tuple delta
+        (:meth:`_inherit_caches`), so they rarely build here at all.
         """
         from .index import HashIndex
 
@@ -104,6 +130,47 @@ class Relation:
         if index is None:
             index = cache[cols] = HashIndex(self, cols)
         return index
+
+    def _inherit_caches(self, parent: "Relation", added: frozenset, removed: frozenset) -> "Relation":
+        """Patch ``parent``'s materialised caches into this relation.
+
+        Called once, eagerly, by the derived constructors
+        (``union``/``difference``/:meth:`evolve`): every index,
+        complement and keyed complement the parent actually materialised
+        is carried forward by patching it with the tuple delta —
+        ``O(|delta| + #buckets)`` per structure instead of a rescan of
+        the whole relation.  Eager transfer keeps no reference to the
+        parent, so long update streams (a materialized view's lifetime)
+        retain only the newest generation's caches — laziness here would
+        mean an unbounded parent chain.
+        """
+        from .index import HashIndex
+
+        parent_indexes = getattr(parent, "_index_cache", None)
+        if parent_indexes:
+            self._index_cache = {
+                cols: HashIndex.patched(index, added, removed)
+                for cols, index in parent_indexes.items()
+            }
+        parent_comps = getattr(parent, "_complement_cache", None)
+        if parent_comps:
+            from .algebra import universe_product
+
+            cache = {}
+            for universe, comp in parent_comps.items():
+                # Tuples added here leave the complement; tuples removed
+                # re-enter it (when they lie inside universe**arity at
+                # all — relations may hold out-of-universe values).
+                full = universe_product(universe, self.arity)
+                cache[universe] = comp.evolve(removed & full, added)
+            self._complement_cache = cache
+        parent_keyed = getattr(parent, "_keyed_complement_cache", None)
+        if parent_keyed:
+            self._keyed_complement_cache = {
+                key: keyed.derived(self, added, removed)
+                for key, keyed in parent_keyed.items()
+            }
+        return self
 
     def complement_on(self, universe) -> "Relation":
         """The complement ``universe**arity - self``, cached on this relation.
@@ -129,6 +196,35 @@ class Relation:
             full = universe_product(key, self.arity)  # cached per (universe, arity)
             comp = cache[key] = Relation("!" + self.name, self.arity, full - self._tuples)
         return comp
+
+    def keyed_complement_on(self, universe, bound_columns, free_positions) -> "KeyedComplement":
+        """Per-key allowed-sets for a keyed negated completion, cached.
+
+        For a :class:`~repro.core.planning.plan.ComplementJoin` with bound
+        columns, the executor needs, per distinct key, the set
+        ``universe**k`` minus the key's matched projections.  The returned
+        :class:`~repro.db.index.KeyedComplement` memoises those allowed-sets
+        lazily; because it is cached on the relation it survives across
+        fixpoint rounds, and when this relation evolved from a parent
+        (:meth:`union` / :meth:`difference` / :meth:`evolve`) the parent's
+        allowed-sets are *patched* with the touched keys' tuples rather
+        than recomputed — the ROADMAP's delta-aware keyed complement.
+        """
+        from .index import KeyedComplement
+
+        uni = universe if isinstance(universe, frozenset) else frozenset(universe)
+        cache_key = (uni, tuple(bound_columns), tuple(free_positions))
+        try:
+            cache = self._keyed_complement_cache
+        except AttributeError:
+            cache = {}
+            self._keyed_complement_cache = cache
+        keyed = cache.get(cache_key)
+        if keyed is None:
+            keyed = cache[cache_key] = KeyedComplement(
+                self, uni, tuple(bound_columns), tuple(free_positions)
+            )
+        return keyed
 
     def __contains__(self, item: Tup) -> bool:
         return tuple(item) in self._tuples
@@ -172,11 +268,43 @@ class Relation:
         """
         if name == self.name:
             return self
-        return Relation(name, self.arity, self._tuples)
+        return Relation._from_frozenset(name, self.arity, self._tuples)
 
     def with_tuples(self, tuples: Iterable[Tup]) -> "Relation":
         """Return a relation with this signature but the given tuples."""
         return Relation(self.name, self.arity, tuples)
+
+    def evolve(self, inserts: Iterable[Tup] = (), deletes: Iterable[Tup] = ()) -> "Relation":
+        """Return ``(self - deletes) | inserts``, caches carried forward.
+
+        This is the delta-update face of the value operations: the
+        result inherits this relation's materialised indexes,
+        complements and keyed complements, patched with the effective
+        changes (:meth:`_inherit_caches`).  Tuples on either side that
+        do not match the arity raise; no-op deltas return ``self`` with
+        every cache intact.
+        """
+        arity = self.arity
+
+        def checked(tuples: Iterable[Tup]) -> frozenset:
+            if not isinstance(tuples, frozenset):
+                tuples = frozenset(tuple(t) for t in tuples)
+            for t in tuples:
+                if type(t) is not tuple or len(t) != arity:
+                    raise ValueError(
+                        "tuple %r does not have arity %d for relation %s"
+                        % (t, arity, self.name)
+                    )
+            return tuples
+
+        ins = checked(inserts) - self._tuples
+        dels = checked(deletes) & self._tuples
+        if not ins and not dels:
+            return self
+        out = Relation._from_frozenset(
+            self.name, arity, (self._tuples - dels) | ins
+        )
+        return out._inherit_caches(self, ins, dels)
 
     def add(self, *tuples: Tup) -> "Relation":
         """Return this relation extended with the given tuples."""
@@ -192,7 +320,10 @@ class Relation:
         self._check_compatible(other, "union")
         if not other._tuples or other._tuples <= self._tuples:
             return self
-        return Relation(self.name, self.arity, self._tuples | other._tuples)
+        out = Relation._from_frozenset(
+            self.name, self.arity, self._tuples | other._tuples
+        )
+        return out._inherit_caches(self, other._tuples - self._tuples, frozenset())
 
     def intersection(self, other: "Relation") -> "Relation":
         """Set intersection; the operand must have the same arity."""
@@ -208,7 +339,10 @@ class Relation:
         self._check_compatible(other, "difference")
         if not other._tuples or self._tuples.isdisjoint(other._tuples):
             return self
-        return Relation(self.name, self.arity, self._tuples - other._tuples)
+        out = Relation._from_frozenset(
+            self.name, self.arity, self._tuples - other._tuples
+        )
+        return out._inherit_caches(self, frozenset(), self._tuples & other._tuples)
 
     def complement(self, universe: Iterable[Any]) -> "Relation":
         """Return ``universe**arity`` minus this relation."""

@@ -1,0 +1,35 @@
+"""Materialized-view maintenance: fixpoints kept live under EDB deltas.
+
+The paper defines its semantics by *iterating to a fixpoint from
+scratch*; a serving system cannot afford that on every base-fact
+change.  This package turns the batch evaluator into a serving engine:
+
+* :class:`~repro.materialize.delta.Delta` — per-relation insert/delete
+  sets, applied with :meth:`repro.db.database.Database.apply_delta`;
+* :mod:`~repro.materialize.counting` — exact derivation counting for
+  non-recursive predicates;
+* :mod:`~repro.materialize.dred` — Delete/Rederive for recursive
+  components under stratified negation;
+* :class:`~repro.materialize.view.MaterializedView` — the façade:
+  ``view.apply(delta)`` returns a :class:`~repro.materialize.view.ChangeSet`
+  and keeps ``view.result`` equal to a from-scratch recomputation
+  (property-tested in ``tests/test_materialize.py``).
+
+Maintenance runs stratum-by-stratum over the dependency condensation —
+the algorithmic counterpart of the stratified fixed-point structure
+non-monotone operators force (deletion is where non-monotonicity bites:
+retracting an EDB tuple can *grow* a negated stratum).
+"""
+
+from .counting import CountingState
+from .delta import Delta
+from .dred import RecursiveState
+from .view import ChangeSet, MaterializedView
+
+__all__ = [
+    "ChangeSet",
+    "CountingState",
+    "Delta",
+    "MaterializedView",
+    "RecursiveState",
+]

@@ -1,0 +1,200 @@
+"""EDB deltas: per-relation insert/delete sets.
+
+A :class:`Delta` is the unit of change the materialized-view subsystem
+consumes: for each named relation, a set of tuples to insert and a set
+to delete.  Deltas are immutable values (hashable, equality by content)
+and deliberately know nothing about databases — applying one is
+:meth:`repro.db.database.Database.apply_delta`, which returns a *new*
+immutable database, carries the old relations' caches forward patched, and
+drops plans compiled against the superseded database value from the
+shared plan store.
+
+A tuple may not appear on both sides of the same relation's change —
+"insert and delete x" has no sequential meaning inside a single delta;
+compose two deltas with :meth:`Delta.then` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
+
+Tup = Tuple[Any, ...]
+Change = Tuple[FrozenSet[Tup], FrozenSet[Tup]]
+"""Per-relation ``(inserts, deletes)``."""
+
+
+class Delta:
+    """An immutable set of per-relation insertions and deletions.
+
+    Parameters
+    ----------
+    inserts:
+        Mapping ``{relation name: iterable of tuples}`` to add.
+    deletes:
+        Mapping ``{relation name: iterable of tuples}`` to remove.
+
+    Raises
+    ------
+    ValueError
+        If some tuple is both inserted into and deleted from the same
+        relation.
+    """
+
+    __slots__ = ("_changes", "_hash")
+
+    def __init__(
+        self,
+        inserts: Mapping[str, Iterable[Tup]] = None,
+        deletes: Mapping[str, Iterable[Tup]] = None,
+    ) -> None:
+        changes: Dict[str, Change] = {}
+        for name, tuples in (inserts or {}).items():
+            changes[name] = (frozenset(tuple(t) for t in tuples), frozenset())
+        for name, tuples in (deletes or {}).items():
+            ins = changes.get(name, (frozenset(), frozenset()))[0]
+            dels = frozenset(tuple(t) for t in tuples)
+            overlap = ins & dels
+            if overlap:
+                raise ValueError(
+                    "delta inserts and deletes overlap on %s: %r"
+                    % (name, sorted(overlap, key=repr)[:4])
+                )
+            changes[name] = (ins, dels)
+        # Drop relations with no actual change so value equality is exact.
+        self._changes = {
+            name: change for name, change in changes.items() if change[0] or change[1]
+        }
+        self._hash = hash(frozenset(self._changes.items()))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Delta":
+        """The delta that changes nothing."""
+        return cls()
+
+    @classmethod
+    def insert(cls, name: str, *tuples: Tup) -> "Delta":
+        """A pure-insertion delta on one relation."""
+        return cls(inserts={name: tuples})
+
+    @classmethod
+    def delete(cls, name: str, *tuples: Tup) -> "Delta":
+        """A pure-deletion delta on one relation."""
+        return cls(deletes={name: tuples})
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[str, Change]]:
+        """Iterate ``(name, (inserts, deletes))`` pairs, sorted by name."""
+        return iter(sorted(self._changes.items()))
+
+    def relations(self) -> Tuple[str, ...]:
+        """The names of the relations this delta touches, sorted."""
+        return tuple(sorted(self._changes))
+
+    def inserts(self, name: str) -> FrozenSet[Tup]:
+        """The tuples inserted into ``name`` (empty when untouched)."""
+        return self._changes.get(name, (frozenset(), frozenset()))[0]
+
+    def deletes(self, name: str) -> FrozenSet[Tup]:
+        """The tuples deleted from ``name`` (empty when untouched)."""
+        return self._changes.get(name, (frozenset(), frozenset()))[1]
+
+    def is_empty(self) -> bool:
+        """True when the delta changes nothing."""
+        return not self._changes
+
+    def values(self) -> FrozenSet[Any]:
+        """Every value occurring in some inserted tuple.
+
+        Used to detect *universe growth*: an insert mentioning a value
+        the database has never seen enlarges the quantification domain
+        of every completion variable, which invalidates maintained
+        derivation counts — the view falls back to recomputation there.
+        """
+        seen = set()
+        for ins, _ in self._changes.values():
+            for t in ins:
+                seen.update(t)
+        return frozenset(seen)
+
+    # ------------------------------------------------------------------
+    # Value operations
+    # ------------------------------------------------------------------
+
+    def normalize(self, db) -> "Delta":
+        """The effective delta against ``db``: drop no-op changes.
+
+        Insertions of tuples already present and deletions of tuples
+        already absent are removed, so downstream maintenance sees only
+        genuine changes.  Relations the database does not contain raise
+        ``KeyError`` (same contract as ``apply_delta``).
+        """
+        inserts: Dict[str, FrozenSet[Tup]] = {}
+        deletes: Dict[str, FrozenSet[Tup]] = {}
+        for name, (ins, dels) in self._changes.items():
+            existing = db[name].tuples
+            eff_ins = ins - existing
+            eff_dels = dels & existing
+            if eff_ins:
+                inserts[name] = eff_ins
+            if eff_dels:
+                deletes[name] = eff_dels
+        return Delta(inserts=inserts, deletes=deletes)
+
+    def then(self, other: "Delta") -> "Delta":
+        """Sequential composition: this delta, then ``other``.
+
+        ``db.apply_delta(a.then(b)) == db.apply_delta(a).apply_delta(b)``
+        for deltas effective against the respective databases.
+        """
+        names = set(self._changes) | set(other._changes)
+        inserts: Dict[str, FrozenSet[Tup]] = {}
+        deletes: Dict[str, FrozenSet[Tup]] = {}
+        for name in names:
+            ins1, del1 = self._changes.get(name, (frozenset(), frozenset()))
+            ins2, del2 = other._changes.get(name, (frozenset(), frozenset()))
+            inserts[name] = (ins1 - del2) | ins2
+            deletes[name] = (del1 - ins2) | del2
+        return Delta(inserts=inserts, deletes=deletes)
+
+    def inverse(self) -> "Delta":
+        """The delta undoing this one (inserts and deletes swapped)."""
+        return Delta(
+            inserts={n: d for n, (_, d) in self._changes.items()},
+            deletes={n: i for n, (i, _) in self._changes.items()},
+        )
+
+    def restrict(self, names: Iterable[str]) -> "Delta":
+        """The sub-delta touching only the given relations."""
+        keep = set(names)
+        return Delta(
+            inserts={n: i for n, (i, _) in self._changes.items() if n in keep},
+            deletes={n: d for n, (_, d) in self._changes.items() if n in keep},
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Delta):
+            return NotImplemented
+        return self._changes == other._changes
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __bool__(self) -> bool:
+        return bool(self._changes)
+
+    def __len__(self) -> int:
+        return sum(len(i) + len(d) for i, d in self._changes.values())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            "%s:+%d/-%d" % (name, len(ins), len(dels))
+            for name, (ins, dels) in sorted(self._changes.items())
+        )
+        return "Delta(%s)" % (parts or "empty")

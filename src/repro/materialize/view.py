@@ -1,0 +1,460 @@
+"""Materialized views: fixpoints kept live under EDB deltas.
+
+:class:`MaterializedView` wraps a program, a database and one of the
+repo's two total-order semantics and keeps the corresponding
+:class:`~repro.core.semantics.base.EvaluationResult` continuously up to
+date as :class:`~repro.materialize.delta.Delta`\\ s stream in — without
+recomputing the fixpoint from scratch on every base-fact change.
+
+Maintenance is organised stratum-by-stratum over the condensation of
+the predicate dependency graph, processed in topological order:
+
+* a **non-recursive** component (a singleton SCC without a self-loop)
+  is maintained by exact derivation counting
+  (:mod:`repro.materialize.counting`);
+* a **recursive** component is maintained by Delete/Rederive
+  (:mod:`repro.materialize.dred`).
+
+This component structure is the algorithmic counterpart of the
+fixed-point theory the paper leans on: the program's operator is
+non-monotone as a whole (a retracted EDB tuple can *grow* a negated
+stratum), but freezing the layers below a component makes its operator
+monotone again — which is exactly what lets DRed restart a least
+fixpoint from the over-deletion survivors and get the right answer.
+
+Two cases fall back to honest recomputation (still through the view
+API, still producing a changeset):
+
+* **universe growth** — an inserted tuple mentioning a never-seen value
+  enlarges the domain every completion variable quantifies over, behind
+  the backs of all maintained counts;
+* **inflationary views of non-semipositive programs** — ``Theta^infinity``
+  is defined by its iteration history, not by any fixpoint equation
+  (Section 4's warning: the limit need not be a fixpoint at all), so
+  there is nothing stratum-shaped to maintain.  Semipositive programs
+  induce a monotone operator, for which the inflationary semantics *is*
+  the least fixpoint, and those are maintained exactly like a one-layer
+  stratified program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..analysis.dependency import DependencyGraph
+from ..core.operator import as_interpretation
+from ..core.program import Program
+from ..core.semantics.base import EvaluationResult, is_semipositive
+from ..core.semantics.incremental import incremental_inflationary_semantics
+from ..core.semantics.inflationary import inflationary_semantics
+from ..core.semantics.stratified import StratifiedResult, stratified_semantics
+from ..db.database import Database
+from ..db.relation import Relation
+from .counting import CountingState
+from .delta import Delta, Tup
+from .dred import DELETE_FRONTIER, INSERT_FRONTIER, RecursiveState
+from .variants import PlanCache, del_name, ins_name, new_name, old_name
+
+ChangePair = Tuple[FrozenSet[Tup], FrozenSet[Tup]]
+
+SEMANTICS = ("stratified", "inflationary")
+
+
+class ChangeSet:
+    """What one :meth:`MaterializedView.apply` call changed.
+
+    Maps every touched predicate — the EDB relations the delta itself
+    moved and every IDB predicate whose value moved in response — to its
+    inserted and deleted tuple sets.  Empty per-relation sets are not
+    recorded.
+    """
+
+    __slots__ = ("inserted", "deleted")
+
+    def __init__(
+        self,
+        inserted: Dict[str, FrozenSet[Tup]] = None,
+        deleted: Dict[str, FrozenSet[Tup]] = None,
+    ) -> None:
+        self.inserted = {k: frozenset(v) for k, v in (inserted or {}).items() if v}
+        self.deleted = {k: frozenset(v) for k, v in (deleted or {}).items() if v}
+
+    @classmethod
+    def from_changes(cls, changes: Dict[str, ChangePair]) -> "ChangeSet":
+        return cls(
+            inserted={n: ins for n, (ins, _) in changes.items()},
+            deleted={n: dels for n, (_, dels) in changes.items()},
+        )
+
+    def relations(self) -> Tuple[str, ...]:
+        """Every relation this changeset touches, sorted."""
+        return tuple(sorted(set(self.inserted) | set(self.deleted)))
+
+    def is_empty(self) -> bool:
+        """True when nothing changed."""
+        return not self.inserted and not self.deleted
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self.inserted.values()) + sum(
+            len(v) for v in self.deleted.values()
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChangeSet):
+            return NotImplemented
+        return self.inserted == other.inserted and self.deleted == other.deleted
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            "%s:+%d/-%d"
+            % (name, len(self.inserted.get(name, ())), len(self.deleted.get(name, ())))
+            for name in self.relations()
+        )
+        return "ChangeSet(%s)" % (parts or "empty")
+
+    def format(self) -> str:
+        """A deterministic multi-line rendering (the CLI's output)."""
+        lines: List[str] = []
+        for name in self.relations():
+            ins = self.inserted.get(name, frozenset())
+            dels = self.deleted.get(name, frozenset())
+            lines.append("%s: +%d -%d" % (name, len(ins), len(dels)))
+            for t in sorted(ins, key=repr):
+                lines.append("  + " + ", ".join(str(v) for v in t))
+            for t in sorted(dels, key=repr):
+                lines.append("  - " + ", ".join(str(v) for v in t))
+        return "\n".join(lines) if lines else "(no change)"
+
+
+class _Component:
+    """One maintained condensation component, with its reading set."""
+
+    __slots__ = ("state", "preds", "base_preds", "recursive")
+
+    def __init__(self, state, preds, base_preds, recursive) -> None:
+        self.state = state
+        self.preds = preds
+        self.base_preds = base_preds
+        self.recursive = recursive
+
+
+class MaterializedView:
+    """A live fixpoint: apply EDB deltas, read the maintained result.
+
+    Parameters
+    ----------
+    program:
+        The DATALOG¬ program.
+    db:
+        The initial database.  Must contain every EDB relation a delta
+        will later touch.
+    semantics:
+        ``"stratified"`` (raises
+        :class:`~repro.core.semantics.stratified.NotStratifiableError`
+        for programs with recursion through negation) or
+        ``"inflationary"`` (total; maintained incrementally when the
+        program is semipositive, recomputed per delta otherwise).
+    """
+
+    def __init__(self, program: Program, db: Database, semantics: str = "stratified") -> None:
+        if semantics not in SEMANTICS:
+            raise ValueError(
+                "unknown semantics %r; expected one of %s" % (semantics, SEMANTICS)
+            )
+        self.program = program
+        self.semantics = semantics
+        self._db = db
+        self._pending: Dict[str, ChangePair] = {}
+        if semantics == "stratified":
+            self._maintainable = True
+            self._result: EvaluationResult = stratified_semantics(program, db)
+        else:
+            self._maintainable = is_semipositive(program)
+            self._result = inflationary_semantics(program, db)
+        self.applied = 0
+        self.recomputes = 0
+        if self._maintainable:
+            self._build_maintenance()
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+
+    @property
+    def db(self) -> Database:
+        """The current (post-delta) database."""
+        return self._db
+
+    @property
+    def result(self) -> EvaluationResult:
+        """The maintained evaluation result over the current database.
+
+        Head-only predicates — the top of the dependency order, often
+        the largest relations — are materialised lazily here: ``apply``
+        returns their changes in the changeset immediately and defers
+        rebuilding the (possibly huge) relation value until something
+        actually reads it.
+        """
+        if self._pending:
+            idb = dict(self._result.idb)
+            for pred, (ins, dels) in self._pending.items():
+                idb[pred] = idb[pred].evolve(ins, dels)
+            self._pending = {}
+            self._result = self._with_idb(self._db, idb)
+        return self._result
+
+    def relation(self, pred: str) -> Relation:
+        """The maintained value of an IDB predicate."""
+        return self.result.idb[pred]
+
+    def __repr__(self) -> str:
+        return "MaterializedView(%s, %d updates, %d recomputes, %r)" % (
+            self.semantics,
+            self.applied,
+            self.recomputes,
+            self._db,
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance state
+    # ------------------------------------------------------------------
+
+    def _build_maintenance(self) -> None:
+        program = self.program
+        small = set()
+        for pred in program.predicates:
+            small.add(ins_name(pred))
+            small.add(del_name(pred))
+            small.add(pred + DELETE_FRONTIER)
+            small.add(pred + INSERT_FRONTIER)
+        self._plans = PlanCache(frozenset(small))
+
+        graph = DependencyGraph(program)
+        self._components: List[_Component] = []
+        interp = as_interpretation(program, self._db, self._result.idb)
+        for comp in reversed(graph.sccs()):  # topological: dependencies first
+            preds = {p: program.arity(p) for p in comp}
+            rules = [r for r in program.rules if r.head.pred in comp]
+            base_preds = frozenset(
+                pred for r in rules for pred in r.body_predicates()
+            ) - frozenset(comp)
+            recursive = len(comp) > 1 or any(
+                e.target in comp for p in comp for e in graph.successors(p)
+            )
+            if recursive:
+                state = RecursiveState(preds, rules, self._plans)
+            else:
+                (pred,) = comp
+                state = CountingState(pred, preds[pred], rules, self._plans)
+                derived = state.initialise(interp)
+                if derived != self._result.idb[pred].tuples:
+                    raise AssertionError(
+                        "counting initialisation of %s disagrees with the "
+                        "evaluated fixpoint" % pred
+                    )
+            self._components.append(
+                _Component(state, frozenset(comp), base_preds, recursive)
+            )
+
+        # Persistent @old/@new alias relations for every predicate some
+        # rule body reads: the objects *evolve* across updates (rather
+        # than being rebuilt), so their cached indexes and (keyed)
+        # complements are patched with each delta — negation-heavy
+        # maintenance reuses them wholesale.  Head-only predicates (the
+        # top of the dependency order, often the largest relations) feed
+        # nothing, so they get no aliases and their changes are only
+        # echoed into the changeset.
+        read = set()
+        for rule in program.rules:
+            read |= rule.body_predicates()
+        self._aliases: Dict[str, Relation] = {}
+        for pred in sorted(read & program.predicates):
+            if pred in program.idb_predicates:
+                value = self._result.idb[pred]
+            else:
+                value = self._db.get(pred) or Relation.empty(pred, program.arity(pred))
+            self._aliases[old_name(pred)] = value.with_name(old_name(pred))
+            self._aliases[new_name(pred)] = value.with_name(new_name(pred))
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+
+    def apply(self, delta: Delta) -> ChangeSet:
+        """Apply an EDB delta; return everything that changed.
+
+        The delta may only touch the program's EDB relations; tuple
+        arities are validated against the database schema before any
+        state is modified.
+        """
+        self._validate(delta)
+        effective = delta.normalize(self._db)
+        if effective.is_empty():
+            return ChangeSet()
+        self.applied += 1
+        new_db = self._db.apply_delta(effective)
+        growth = not (effective.values() <= self._db.universe)
+        if not self._maintainable or growth:
+            return self._recompute(new_db, effective)
+        return self._maintain(new_db, effective)
+
+    def _validate(self, delta: Delta) -> None:
+        idb = self.program.idb_predicates
+        for name in delta.relations():
+            if name in idb:
+                raise ValueError(
+                    "delta touches %r, an IDB predicate of the program — "
+                    "IDB relations are maintained, not written" % name
+                )
+            rel = self._db.get(name)
+            if rel is None:
+                raise KeyError(
+                    "delta names relation %r which is not in the database" % name
+                )
+            for t in delta.inserts(name) | delta.deletes(name):
+                if len(t) != rel.arity:
+                    raise ValueError(
+                        "delta tuple %r has length %d, expected arity %d for %s"
+                        % (t, len(t), rel.arity, name)
+                    )
+
+    # -- recomputation fallback ----------------------------------------
+
+    def _recompute(self, new_db: Database, effective: Delta) -> ChangeSet:
+        self.recomputes += 1
+        old_idb = self.result.idb  # materialises any deferred changes first
+        if self.semantics == "stratified":
+            result: EvaluationResult = stratified_semantics(self.program, new_db)
+        else:
+            result = incremental_inflationary_semantics(self.program, new_db)
+        changes: Dict[str, ChangePair] = {
+            name: (effective.inserts(name), effective.deletes(name))
+            for name in effective.relations()
+        }
+        for pred in self.program.idb_predicates:
+            before = old_idb[pred].tuples
+            after = result.idb[pred].tuples
+            changes[pred] = (frozenset(after - before), frozenset(before - after))
+        self._db = new_db
+        self._result = result
+        if self._maintainable:
+            self._build_maintenance()  # counts and aliases over the new state
+        return ChangeSet.from_changes(changes)
+
+    # -- the incremental path ------------------------------------------
+
+    def _maintain(self, new_db: Database, effective: Delta) -> ChangeSet:
+        program = self.program
+        universe = new_db.universe  # == the old universe (no growth here)
+        arity = program.arity
+
+        changes: Dict[str, ChangePair] = {
+            name: (effective.inserts(name), effective.deletes(name))
+            for name in effective.relations()
+        }
+        change_rels: Dict[str, Relation] = {}
+
+        def publish(name: str, ins: FrozenSet[Tup], dels: FrozenSet[Tup]) -> None:
+            """Record a change and refresh the @new/@ins/@del aliases.
+
+            Relations the program never reads (deltas on them are legal)
+            have no aliases and need none — the change is echoed only.
+            """
+            changes[name] = (ins, dels)
+            key = new_name(name)
+            if key not in self._aliases:
+                return
+            self._aliases[key] = self._aliases[key].evolve(ins, dels)
+            change_rels[ins_name(name)] = Relation(ins_name(name), arity(name), ins)
+            change_rels[del_name(name)] = Relation(del_name(name), arity(name), dels)
+
+        for name in effective.relations():
+            publish(name, effective.inserts(name), effective.deletes(name))
+
+        idb = dict(self._result.idb)
+        for component in self._components:
+            changed_below = frozenset(
+                n for n, (ins, dels) in changes.items() if ins or dels
+            )
+            if not (component.base_preds & changed_below):
+                continue
+            if component.recursive:
+                current = {p: idb[p] for p in component.preds}
+                base_changes = {
+                    n: changes[n]
+                    for n in component.base_preds & changed_below
+                }
+                aliases = dict(self._aliases)
+                aliases.update(change_rels)
+                final, comp_changes = component.state.apply(
+                    current, aliases, base_changes, universe
+                )
+                for pred, (ins, dels) in comp_changes.items():
+                    idb[pred] = final[pred].with_name(pred)
+                    if ins or dels:
+                        publish(pred, ins, dels)
+            else:
+                interp = Database(
+                    universe,
+                    list(self._aliases.values()) + list(change_rels.values()),
+                    check=False,
+                )
+                ins, dels = component.state.apply(interp, changed_below)
+                if ins or dels:
+                    pred = component.state.pred
+                    if new_name(pred) in self._aliases:
+                        idb[pred] = idb[pred].evolve(ins, dels)
+                    else:
+                        # Head-only predicate: nothing reads its relation
+                        # during maintenance (the counting state is the
+                        # authority), so defer the — possibly huge —
+                        # relation rebuild until ``result`` is read.
+                        self._defer(pred, ins, dels)
+                    publish(pred, ins, dels)
+
+        # The next update's pre-change state is this update's post-change
+        # state: catch the @old aliases up by the same deltas.
+        for name, (ins, dels) in changes.items():
+            if ins or dels:
+                key = old_name(name)
+                if key in self._aliases:
+                    self._aliases[key] = self._aliases[key].evolve(ins, dels)
+
+        self._db = new_db
+        self._result = self._with_idb(new_db, idb)
+        return ChangeSet.from_changes(changes)
+
+    def _defer(self, pred: str, ins: FrozenSet[Tup], dels: FrozenSet[Tup]) -> None:
+        """Queue a head-only predicate's change for lazy materialisation.
+
+        Changes compose sequentially (``Delta.then`` algebra), so the
+        stored relation plus the pending pair always equals the true
+        current value the counting state maintains.
+        """
+        old_ins, old_dels = self._pending.get(pred, (frozenset(), frozenset()))
+        self._pending[pred] = (
+            (old_ins - dels) | ins,
+            (old_dels - ins) | dels,
+        )
+
+    def _with_idb(self, db: Database, idb) -> EvaluationResult:
+        """The previous result object carried over to the new state."""
+        old = self._result
+        if isinstance(old, StratifiedResult):
+            return StratifiedResult(
+                program=old.program,
+                db=db,
+                idb=idb,
+                rounds=old.rounds,
+                engine=old.engine,
+                trace=None,
+                strata=old.strata,
+            )
+        return EvaluationResult(
+            program=old.program,
+            db=db,
+            idb=idb,
+            rounds=old.rounds,
+            engine=old.engine,
+            trace=None,
+        )

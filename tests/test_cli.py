@@ -86,3 +86,49 @@ def test_missing_database_relation(tmp_path):
     dbdir.mkdir()
     with pytest.raises(FileNotFoundError):
         main(["run", str(program), "--db", str(dbdir)])
+
+
+def test_update_applies_csv_delta(workspace, tmp_path, capsys):
+    program, dbdir = workspace
+    program = tmp_path / "tc.dl"
+    program.write_text(
+        "TC(X, Y) :- E(X, Y).\nTC(X, Y) :- E(X, Z), TC(Z, Y).\n"
+        "NOTC(X, Y) :- !TC(X, Y).\n"
+    )
+    deltadir = tmp_path / "delta"
+    deltadir.mkdir()
+    (deltadir / "E.insert.csv").write_text("4,1\n")
+    (deltadir / "E.delete.csv").write_text("2,3\n")
+    out_dir = tmp_path / "out"
+    assert (
+        main(
+            [
+                "update",
+                str(program),
+                "--db",
+                str(dbdir),
+                "--delta",
+                str(deltadir),
+                "--carrier",
+                "NOTC",
+                "--out",
+                str(out_dir),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "engine=stratified" in out
+    assert "E: +1 -1" in out
+    assert "TC:" in out and "NOTC:" in out
+    # The post-delta database was written back.
+    assert (out_dir / "E.csv").read_text().splitlines() == ["1,2", "3,4", "4,1"]
+
+
+def test_update_rejects_unknown_delta_relation(workspace, tmp_path):
+    program, dbdir = workspace
+    deltadir = tmp_path / "delta"
+    deltadir.mkdir()
+    (deltadir / "Nope.insert.csv").write_text("1\n")
+    with pytest.raises(ValueError):
+        main(["update", str(program), "--db", str(dbdir), "--delta", str(deltadir)])

@@ -41,3 +41,38 @@ def test_database_roundtrip(tmp_path):
     assert back["V"] == db["V"]
     # The reloaded universe is the active domain.
     assert back.universe == {1, 2, 3}
+
+
+def test_delta_roundtrip(tmp_path):
+    from repro.materialize import Delta
+
+    delta = Delta(
+        inserts={"E": [(1, 2), (2, 3)], "V": [(4,)]},
+        deletes={"E": [(3, 1)]},
+    )
+    csvio.dump_delta(delta, tmp_path)
+    back = csvio.load_delta(tmp_path, {"E": 2, "V": 1})
+    assert back == delta
+
+
+def test_load_delta_missing_files_are_empty(tmp_path):
+    back = csvio.load_delta(tmp_path, {"E": 2})
+    assert back.is_empty()
+
+
+def test_load_delta_rejects_unknown_relation(tmp_path):
+    (tmp_path / "R.insert.csv").write_text("1,2\n")
+    with pytest.raises(ValueError):
+        csvio.load_delta(tmp_path, {"E": 2})
+
+
+def test_load_delta_rejects_arity_mismatch(tmp_path):
+    (tmp_path / "E.insert.csv").write_text("1,2,3\n")
+    with pytest.raises(ValueError):
+        csvio.load_delta(tmp_path, {"E": 2})
+
+
+def test_load_delta_rejects_typoed_file(tmp_path):
+    (tmp_path / "E.inserts.csv").write_text("1,2\n")  # note the plural typo
+    with pytest.raises(ValueError):
+        csvio.load_delta(tmp_path, {"E": 2})

@@ -110,3 +110,66 @@ def test_index_project_returns_matched_projections():
     assert index.project((1,), (1, 2)) == {(2, 3), (5, 6)}
     assert index.project((1,), (2,)) == {(3,), (6,)}
     assert index.project((9,), (1, 2)) == frozenset()
+
+
+# ----------------------------------------------------------------------
+# Patched derivation (cache inheritance on evolving relations)
+# ----------------------------------------------------------------------
+
+
+def test_patched_index_equals_rebuilt():
+    rel = Relation("E", 2, [(1, 2), (1, 3), (2, 3)])
+    parent = HashIndex(rel, [0])
+    added = frozenset({(1, 4), (3, 1)})
+    removed = frozenset({(1, 2), (2, 3)})
+    new_rel = rel.evolve(added, removed)
+    patched = HashIndex.patched(parent, added, removed)
+    rebuilt = HashIndex(new_rel, [0])
+    for key in set(patched.keys()) | set(rebuilt.keys()):
+        assert sorted(patched.lookup(key)) == sorted(rebuilt.lookup(key))
+    # The parent was not mutated (copy-on-write).
+    assert sorted(parent.lookup((1,))) == [(1, 2), (1, 3)]
+
+
+def test_index_on_derives_from_parent_cache():
+    rel = Relation("E", 2, [(1, 2), (2, 3)])
+    rel.index_on([0])  # populate the parent cache
+    evolved = rel.evolve([(3, 4)], [(1, 2)])
+    idx = evolved.index_on([0])
+    assert idx.lookup((3,)) == [(3, 4)]
+    assert idx.lookup((1,)) == []
+    assert sorted(idx.lookup((2,))) == [(2, 3)]
+
+
+def test_keyed_complement_matches_definition():
+    universe = frozenset({1, 2, 3})
+    rel = Relation("S", 2, [(1, 2), (1, 3), (2, 1)])
+    keyed = rel.keyed_complement_on(universe, (0,), (1,))
+    assert keyed.get((1,)) == frozenset({(1,)})
+    assert keyed.get((2,)) == frozenset({(2,), (3,)})
+    assert keyed.get((3,)) == frozenset({(1,), (2,), (3,)})
+
+
+def test_keyed_complement_derives_by_patching():
+    universe = frozenset({1, 2, 3})
+    rel = Relation("S", 2, [(1, 2), (2, 1)])
+    keyed = rel.keyed_complement_on(universe, (0,), (1,))
+    keyed.get((1,))  # materialise one key
+    evolved = rel.evolve([(1, 3), (3, 3)], [(2, 1)])
+    derived = evolved.keyed_complement_on(universe, (0,), (1,))
+    assert derived is not keyed
+    # Patched key: (1, 3) arrived, so 3 left the allowed-set.
+    assert derived.get((1,)) == frozenset({(1,)})
+    # Touched-but-unmaterialised and untouched keys are computed lazily.
+    assert derived.get((2,)) == frozenset({(1,), (2,), (3,)})
+    assert derived.get((3,)) == frozenset({(1,), (2,)})
+    assert (1,) in keyed.materialised_keys()
+    # The parent's allowed-sets were not mutated.
+    assert keyed.get((1,)) == frozenset({(1,), (3,)})
+
+
+def test_keyed_complement_cache_hit_on_same_relation():
+    rel = Relation("S", 2, [(1, 2)])
+    a = rel.keyed_complement_on({1, 2}, (0,), (1,))
+    b = rel.keyed_complement_on({1, 2}, (0,), (1,))
+    assert a is b

@@ -1,0 +1,368 @@
+"""Materialized-view maintenance equals from-scratch recomputation.
+
+The central property: after *any* sequence of EDB deltas, a
+``MaterializedView``'s result is extensionally equal to evaluating the
+program from scratch on the mutated database — for stratified views
+(counting + DRed maintenance) and inflationary views (maintained when
+semipositive, honestly recomputed otherwise), across insert-only,
+delete-only and mixed sequences, negation-heavy library programs, and
+zero-ary relations.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database, Relation, parse_program
+from repro.core.semantics import (
+    NotStratifiableError,
+    inflationary_semantics,
+    is_stratifiable,
+    stratified_semantics,
+)
+from repro.graphs import generators as gg
+from repro.graphs.encode import graph_to_database
+from repro.materialize import ChangeSet, Delta, MaterializedView
+from repro.queries import (
+    distance_program,
+    pi2,
+    tc_complement_stratified,
+    win_move_program,
+)
+from strategies import random_programs, small_databases
+
+SLOW = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# ----------------------------------------------------------------------
+# Delta value semantics
+# ----------------------------------------------------------------------
+
+
+class TestDelta:
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            Delta(inserts={"E": [(1, 2)]}, deletes={"E": [(1, 2)]})
+
+    def test_normalize_drops_noops(self):
+        db = Database({1, 2}, [Relation("E", 2, [(1, 2)])])
+        delta = Delta(inserts={"E": [(1, 2), (2, 1)]}, deletes={"E": [(2, 2)]})
+        eff = delta.normalize(db)
+        assert eff.inserts("E") == frozenset({(2, 1)})
+        assert eff.deletes("E") == frozenset()
+
+    def test_then_composes_like_sequential_application(self):
+        db = Database({1, 2, 3}, [Relation("E", 2, [(1, 2), (2, 3)])])
+        a = Delta(inserts={"E": [(3, 1)]}, deletes={"E": [(1, 2)]})
+        b = Delta(inserts={"E": [(1, 2)]}, deletes={"E": [(3, 1)]})
+        combined = db.apply_delta(a.then(b), invalidate_plans=False)
+        stepped = db.apply_delta(a, invalidate_plans=False).apply_delta(
+            b, invalidate_plans=False
+        )
+        assert combined == stepped
+
+    def test_inverse_roundtrip(self):
+        db = Database({1, 2}, [Relation("E", 2, [(1, 2)])])
+        delta = Delta(inserts={"E": [(2, 1)]}, deletes={"E": [(1, 2)]})
+        back = db.apply_delta(delta, invalidate_plans=False).apply_delta(
+            delta.inverse(), invalidate_plans=False
+        )
+        assert back == db
+
+    def test_empty_and_len(self):
+        assert Delta.empty().is_empty()
+        assert len(Delta.insert("E", (1, 2), (2, 1))) == 2
+        assert Delta(inserts={"E": []}).is_empty()
+
+
+# ----------------------------------------------------------------------
+# Database.apply_delta
+# ----------------------------------------------------------------------
+
+
+class TestApplyDelta:
+    def test_updates_relations_and_universe(self):
+        db = Database({1, 2}, [Relation("E", 2, [(1, 2)])])
+        out = db.apply_delta(
+            Delta(inserts={"E": [(2, 3)]}, deletes={"E": [(1, 2)]}),
+            invalidate_plans=False,
+        )
+        assert out["E"].tuples == frozenset({(2, 3)})
+        assert out.universe == frozenset({1, 2, 3})
+        # deletions never shrink the universe
+        out2 = out.apply_delta(Delta.delete("E", (2, 3)), invalidate_plans=False)
+        assert out2.universe == frozenset({1, 2, 3})
+
+    def test_noop_returns_self(self):
+        db = Database({1, 2}, [Relation("E", 2, [(1, 2)])])
+        assert db.apply_delta(Delta.insert("E", (1, 2)), invalidate_plans=False) is db
+
+    def test_unknown_relation_raises(self):
+        db = Database({1}, [Relation("E", 2, [])])
+        with pytest.raises(KeyError):
+            db.apply_delta(Delta.insert("R", (1,)), invalidate_plans=False)
+
+    def test_arity_mismatch_raises(self):
+        db = Database({1, 2}, [Relation("E", 2, [(1, 2)])])
+        with pytest.raises(ValueError):
+            db.apply_delta(Delta.insert("E", (1, 2, 3)), invalidate_plans=False)
+        # Deletes are validated too, even though a wrong-arity tuple could
+        # never match anything — a typo'd delete should fail loudly, not
+        # silently delete nothing.
+        with pytest.raises(ValueError):
+            db.apply_delta(Delta.delete("E", (1, 2, 3)), invalidate_plans=False)
+
+
+# ----------------------------------------------------------------------
+# View maintenance == recompute: directed cases
+# ----------------------------------------------------------------------
+
+
+def _reference(program, db, semantics):
+    if semantics == "stratified":
+        return stratified_semantics(program, db).idb
+    return inflationary_semantics(program, db).idb
+
+
+def _check_sequence(program, db, deltas, semantics):
+    """Apply ``deltas`` through a view, asserting equality after each."""
+    view = MaterializedView(program, db, semantics=semantics)
+    for delta in deltas:
+        before = view.result.idb
+        changeset = view.apply(delta)
+        assert view.result.idb == _reference(program, view.db, semantics)
+        # The changeset is exactly the IDB diff plus the EDB echo.
+        for pred, rel in view.result.idb.items():
+            expected_ins = rel.tuples - before[pred].tuples
+            expected_del = before[pred].tuples - rel.tuples
+            assert changeset.inserted.get(pred, frozenset()) == expected_ins
+            assert changeset.deleted.get(pred, frozenset()) == expected_del
+    return view
+
+
+class TestDirectedMaintenance:
+    def test_tc_complement_insert_delete_cycle(self):
+        db = graph_to_database(gg.path(6))
+        _check_sequence(
+            tc_complement_stratified(),
+            db,
+            [
+                Delta.insert("E", (6, 1)),   # closes the cycle: TC goes full
+                Delta.delete("E", (3, 4)),   # breaks it again
+                Delta.delete("E", (1, 2)),
+                Delta.insert("E", (1, 2)),
+            ],
+            "stratified",
+        )
+
+    def test_distance_program_mixed(self):
+        db = graph_to_database(gg.path(7))
+        _check_sequence(
+            distance_program(),
+            db,
+            [
+                Delta(inserts={"E": [(2, 5)]}, deletes={"E": [(4, 5)]}),
+                Delta.delete("E", (2, 5)),
+                Delta.insert("E", (7, 3)),
+            ],
+            "stratified",
+        )
+
+    def test_pi2_unsafe_negation(self):
+        db = graph_to_database(gg.cycle(5))
+        _check_sequence(
+            pi2(),
+            db,
+            [Delta.delete("E", (5, 1)), Delta.insert("E", (3, 3))],
+            "stratified",
+        )
+
+    def test_win_move_inflationary_fallback(self):
+        db = graph_to_database(gg.path(5))
+        view = _check_sequence(
+            win_move_program(),
+            db,
+            [Delta.insert("E", (5, 1)), Delta.delete("E", (2, 3))],
+            "inflationary",
+        )
+        assert view.recomputes == 2  # not semipositive: every delta recomputes
+
+    def test_semipositive_inflationary_is_maintained(self):
+        program = parse_program("T(X) :- E(Y, X), !E(X, Y).  T(X) :- E(X, Z), T(Z).")
+        db = graph_to_database(gg.path(6))
+        view = _check_sequence(
+            program,
+            db,
+            [Delta.insert("E", (6, 2)), Delta.delete("E", (1, 2))],
+            "inflationary",
+        )
+        assert view.recomputes == 0
+
+    def test_universe_growth_falls_back(self):
+        db = graph_to_database(gg.path(4))
+        view = MaterializedView(tc_complement_stratified(), db)
+        view.apply(Delta.insert("E", (4, 9)))  # 9 is a brand-new element
+        assert 9 in view.db.universe
+        assert view.recomputes == 1
+        assert view.result.idb == _reference(
+            tc_complement_stratified(), view.db, "stratified"
+        )
+        # Maintenance keeps working after the rebuild.
+        view.apply(Delta.delete("E", (2, 3)))
+        assert view.recomputes == 1
+        assert view.result.idb == _reference(
+            tc_complement_stratified(), view.db, "stratified"
+        )
+
+    def test_zero_ary_edb(self):
+        program = parse_program(
+            """
+            T(X) :- E(X, Y), !B().
+            S() :- E(X, X).
+            """,
+            carrier="T",
+        )
+        db = Database(
+            {1, 2},
+            [Relation("E", 2, [(1, 2)]), Relation("B", 0, [])],
+        )
+        _check_sequence(
+            program,
+            db,
+            [
+                Delta.insert("B", ()),
+                Delta.insert("E", (2, 2)),
+                Delta.delete("B", ()),
+                Delta.delete("E", (2, 2)),
+            ],
+            "stratified",
+        )
+
+    def test_not_stratifiable_raises(self):
+        db = graph_to_database(gg.path(3))
+        with pytest.raises(NotStratifiableError):
+            MaterializedView(win_move_program(), db, semantics="stratified")
+
+    def test_rejects_idb_and_unknown_deltas(self):
+        db = graph_to_database(gg.path(3))
+        view = MaterializedView(tc_complement_stratified(), db)
+        with pytest.raises(ValueError):
+            view.apply(Delta.insert("TC", (1, 2)))
+        with pytest.raises(KeyError):
+            view.apply(Delta.insert("Nope", (1,)))
+
+    def test_empty_delta_is_noop(self):
+        db = graph_to_database(gg.path(3))
+        view = MaterializedView(tc_complement_stratified(), db)
+        result = view.result
+        changeset = view.apply(Delta.empty())
+        assert changeset.is_empty()
+        assert view.result is result
+
+    def test_changeset_format(self):
+        changeset = ChangeSet(
+            inserted={"T": {(1,)}}, deleted={"T": {(2,)}, "E": {(1, 2)}}
+        )
+        text = changeset.format()
+        assert "T: +1 -1" in text
+        assert "E: +0 -1" in text
+        assert "  + 1" in text and "  - 1, 2" in text
+        assert ChangeSet().format() == "(no change)"
+
+
+# ----------------------------------------------------------------------
+# The Hypothesis property: random programs × random delta sequences
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def databases_and_deltas(draw, max_deltas: int = 4, insert_only: bool = False,
+                         delete_only: bool = False):
+    """A small database plus a sequence of deltas over its E relation.
+
+    Delta values are drawn from the universe (plus, rarely, a fresh
+    element — exercising the universe-growth fallback).
+    """
+    db = draw(small_databases())
+    universe = sorted(db.universe)
+    fresh = max(universe) + 1
+    pool = universe if (insert_only or delete_only) else universe + [fresh]
+    pairs = st.tuples(st.sampled_from(pool), st.sampled_from(pool))
+    deltas = []
+    for _ in range(draw(st.integers(min_value=1, max_value=max_deltas))):
+        ins = [] if delete_only else draw(st.lists(pairs, max_size=3))
+        dels = [] if insert_only else draw(st.lists(pairs, max_size=3))
+        dels = [t for t in dels if t not in set(ins)]
+        deltas.append(Delta(inserts={"E": ins}, deletes={"E": dels}))
+    return db, deltas
+
+
+def _property_body(program, db, deltas, semantics):
+    if semantics == "stratified" and not is_stratifiable(program):
+        return
+    view = MaterializedView(program, db, semantics=semantics)
+    for delta in deltas:
+        view.apply(delta)
+        assert view.result.idb == _reference(program, view.db, semantics)
+
+
+class TestMaintenanceEqualsRecompute:
+    @SLOW
+    @given(
+        program=random_programs(allow_idb_negation=True, include_zeroary=True),
+        dbd=databases_and_deltas(),
+    )
+    def test_stratified_mixed(self, program, dbd):
+        db, deltas = dbd
+        _property_body(program, db, deltas, "stratified")
+
+    @SLOW
+    @given(
+        program=random_programs(allow_idb_negation=True, include_zeroary=True),
+        dbd=databases_and_deltas(insert_only=True),
+    )
+    def test_stratified_insert_only(self, program, dbd):
+        db, deltas = dbd
+        _property_body(program, db, deltas, "stratified")
+
+    @SLOW
+    @given(
+        program=random_programs(allow_idb_negation=True, include_zeroary=True),
+        dbd=databases_and_deltas(delete_only=True),
+    )
+    def test_stratified_delete_only(self, program, dbd):
+        db, deltas = dbd
+        _property_body(program, db, deltas, "stratified")
+
+    @SLOW
+    @given(
+        program=random_programs(allow_idb_negation=True, include_zeroary=True),
+        dbd=databases_and_deltas(),
+    )
+    def test_inflationary_mixed(self, program, dbd):
+        db, deltas = dbd
+        _property_body(program, db, deltas, "inflationary")
+
+    @SLOW
+    @given(
+        program=random_programs(allow_idb_negation=False, include_zeroary=True),
+        dbd=databases_and_deltas(),
+    )
+    def test_inflationary_semipositive_never_recomputes(self, program, dbd):
+        db, deltas = dbd
+        view = MaterializedView(program, db, semantics="inflationary")
+        growth = False
+        for delta in deltas:
+            growth = growth or not (
+                delta.normalize(view.db).values() <= view.db.universe
+            )
+            view.apply(delta)
+            assert view.result.idb == _reference(program, view.db, "inflationary")
+        if not growth:
+            assert view.recomputes == 0

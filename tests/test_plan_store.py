@@ -115,3 +115,59 @@ def test_engines_share_the_global_store():
     stratified_semantics(program, db)
     stratified_semantics(program, db)
     assert PLAN_STORE.hits > hits_before
+
+
+# ----------------------------------------------------------------------
+# Invalidation wiring: Database.apply_delta drops superseded plans
+# ----------------------------------------------------------------------
+
+
+def test_apply_delta_invalidates_plans_for_the_old_database():
+    from repro.materialize import Delta
+
+    db = _db()
+    program = _tc()
+    PLAN_STORE.program_plan(program, db)
+    PLAN_STORE.rule_plans(program.rules, db)
+    new_db = db.apply_delta(Delta.insert("E", (3, 1)))
+    # Every entry compiled against the superseded database value is gone:
+    # a second targeted invalidation finds nothing left to drop.
+    assert PLAN_STORE.invalidate(db=db) == 0
+    # Plans for the new database are fresh compiles, never the stale
+    # objects (whose hoisted statistics/domain described the old value).
+    plan = PLAN_STORE.program_plan(program, new_db)
+    assert plan.plans[0].domain_universe == new_db.universe
+
+
+def test_apply_delta_can_skip_invalidation():
+    from repro.materialize import Delta
+
+    # A database value no other test compiles against: the assertion
+    # counts entries in the process-wide store, so a shared value would
+    # make the count order-dependent.
+    db = Database(
+        {"ps-a", "ps-b", "ps-c"}, [Relation("E", 2, [("ps-a", "ps-b")])]
+    )
+    PLAN_STORE.invalidate(db=db)  # drop leftovers from earlier runs
+    PLAN_STORE.program_plan(_tc(), db)
+    db.apply_delta(Delta.insert("E", ("ps-b", "ps-c")), invalidate_plans=False)
+    assert PLAN_STORE.invalidate(db=db) == 1  # the entry survived
+
+
+def test_materialized_view_survives_store_invalidation():
+    # The view's maintenance plans are compiled db-free and referenced
+    # view-locally, so the invalidation its own deltas trigger (and even
+    # a full store clear) cannot stale or lose them.
+    from repro.graphs import generators as gg
+    from repro.materialize import Delta, MaterializedView
+
+    program = parse_program(
+        "TC(X, Y) :- E(X, Y). TC(X, Y) :- E(X, Z), TC(Z, Y). N(X, Y) :- !TC(X, Y)."
+    )
+    view = MaterializedView(program, graph_to_database(gg.path(4)), "stratified")
+    view.apply(Delta.insert("E", (4, 1)))
+    PLAN_STORE.invalidate()
+    view.apply(Delta.delete("E", (4, 1)))
+    from repro.core.semantics import stratified_semantics as _strat
+
+    assert view.result.idb == _strat(program, view.db).idb
