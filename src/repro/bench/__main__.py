@@ -2,27 +2,49 @@
 
 Runs the requested experiments and prints their tables; used to generate
 EXPERIMENTS.md and for quick eyeballing.  ``--json`` emits the same
-tables as machine-readable data — ``BENCH_PR3.json`` at the repo root is
-a committed snapshot of ``python -m repro.bench perf --json``.
+tables as machine-readable data — the ``BENCH_*.json`` files at the repo
+root are committed snapshots of ``python -m repro.bench perf --json``.
 
-``python -m repro.bench check --baseline BENCH_PR3.json [--factor F]
+``python -m repro.bench check [--baseline FILE] [--factor F]
 [--floor S] [ids...]`` re-runs the experiments (default: ``perf``) and
 fails when any shipped-path timing cell — evaluation *and*
 materialized-view update latency — regressed more than ``F``-fold
-against the committed baseline; CI runs it as the perf gate.
+against the committed baseline; CI runs it as the perf gate.  The
+baseline defaults to the **newest** ``BENCH_*.json`` in the working
+directory (natural sort, so ``BENCH_PR10`` outranks ``BENCH_PR9``), and
+the gate fails loudly — it does not silently pass — when a timing table
+or row of the current run has no counterpart in the baseline: a stale
+baseline would otherwise exempt exactly the newest code from the gate.
 """
 
 from __future__ import annotations
 
 import json
+import re
 import sys
 import time
+from pathlib import Path
 
 from .harness import all_experiments, experiment
 
-_TIMING_COLUMNS = frozenset({"compiled s", "batch s", "update s"})
+_TIMING_COLUMNS = frozenset({"compiled s", "batch s", "update s", "adaptive s"})
 """Shipped-path timing columns the regression gate compares: compiled
-plan execution, batch execution, and materialized-view update latency."""
+plan execution, batch execution, materialized-view update latency, and
+adaptive re-planning + semi-join execution."""
+
+
+def _natural_key(path: Path):
+    """Sort key treating digit runs numerically (PR10 after PR9)."""
+    return [
+        int(part) if part.isdigit() else part
+        for part in re.split(r"(\d+)", path.name)
+    ]
+
+
+def _default_baseline() -> "Path | None":
+    """The newest committed ``BENCH_*.json`` snapshot, if any."""
+    candidates = sorted(Path(".").glob("BENCH_*.json"), key=_natural_key)
+    return candidates[-1] if candidates else None
 
 
 def _run_experiments(ids):
@@ -58,10 +80,16 @@ def _as_json(results) -> dict:
 
 
 def run_check(argv) -> int:
-    """Compare a fresh run against a committed ``--json`` baseline."""
+    """Compare a fresh run against a committed ``--json`` baseline.
+
+    ``--json-out FILE`` additionally writes the gated run's tables as
+    JSON — the same document ``perf --json`` prints — so CI can upload
+    the exact measurements the gate judged instead of re-running.
+    """
     baseline_path = None
     factor = 3.0
     floor = 0.02
+    json_out = None
     ids = []
     it = iter(argv)
     for a in it:
@@ -71,19 +99,68 @@ def run_check(argv) -> int:
             factor = float(next(it))
         elif a == "--floor":
             floor = float(next(it))
+        elif a == "--json-out":
+            json_out = next(it, None)
         else:
             ids.append(a)
     if baseline_path is None:
-        print("usage: python -m repro.bench check --baseline FILE [ids...]")
-        return 2
+        default = _default_baseline()
+        if default is None:
+            print(
+                "no --baseline given and no BENCH_*.json snapshot found; "
+                "generate one with `python -m repro.bench perf --json`"
+            )
+            return 2
+        baseline_path = str(default)
+        print("using newest committed baseline: %s" % baseline_path)
     with open(baseline_path) as fh:
         baseline = json.load(fh)
 
     results = _run_experiments(ids or ["perf"])
     current = _as_json(results)
+    if json_out is not None:
+        with open(json_out, "w") as fh:
+            json.dump(current, fh, indent=2, sort_keys=True)
+        print("wrote gated run's tables to %s" % json_out)
     current_by_id = {e["id"]: e for e in current["experiments"]}
 
     failures = []
+    # Reverse direction first: every *current* timing table and row must
+    # have a baseline counterpart, or the gate is not gating it.  (The
+    # forward loop below cannot see these — it walks the baseline.)
+    baseline_by_id = {e["id"]: e for e in baseline["experiments"]}
+    for cur_exp in current["experiments"]:
+        base_exp = baseline_by_id.get(cur_exp["id"])
+        base_tables = (
+            {t["title"]: t for t in base_exp["tables"]} if base_exp else {}
+        )
+        for cur_table in cur_exp["tables"]:
+            timing_cols = [c for c in cur_table["columns"] if c in _TIMING_COLUMNS]
+            if not timing_cols:
+                continue
+            base_table = base_tables.get(cur_table["title"])
+            if base_table is None:
+                failures.append(
+                    "table %r is not in baseline %s — regenerate the "
+                    "snapshot so the gate covers it"
+                    % (cur_table["title"], baseline_path)
+                )
+                continue
+            missing_cols = [
+                c for c in timing_cols if c not in base_table["columns"]
+            ]
+            if missing_cols:
+                failures.append(
+                    "timing columns %s of table %r are not in baseline %s"
+                    % (missing_cols, cur_table["title"], baseline_path)
+                )
+            base_rows = {row[0] for row in base_table["rows"]}
+            for row in cur_table["rows"]:
+                if row[0] not in base_rows:
+                    failures.append(
+                        "row %r of table %r is not in baseline %s"
+                        % (row[0], cur_table["title"], baseline_path)
+                    )
     for base_exp in baseline["experiments"]:
         cur_exp = current_by_id.get(base_exp["id"])
         if cur_exp is None:

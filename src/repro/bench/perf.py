@@ -24,6 +24,7 @@ from ..core.fixpoint import idb_equal, idb_union
 from ..core.operator import IDBMap, as_interpretation, empty_idb, theta_legacy
 from ..core.planning import (
     PLAN_STORE,
+    PlanStore,
     execute_plan,
     execute_plan_rows_legacy,
 )
@@ -34,6 +35,7 @@ from ..core.semantics import (
 )
 from ..db.database import Database
 from ..db.relation import Relation
+from ..core.parser import parse_program
 from ..core.program import Program
 from ..graphs import generators as gg
 from ..graphs.encode import graph_to_database
@@ -89,6 +91,169 @@ def inflationary_with_executor(
         if idb_equal(nxt, current):
             return current
         current = nxt
+
+
+def _hub_workload(n_big: int = 4000, hubs: int = 64, chain: int = 8):
+    """A join-heavy instance where static IDB estimates order joins badly.
+
+    ``Big`` is a large EDB relation fanning into ``hubs`` hub values;
+    ``Seed`` chains ``chain`` fresh values off hub 0, so the recursive
+    ``SEL`` closure stays tiny and touches exactly one hub.  The payoff
+    rule joins them:
+
+        Q(X, Y) :- Big(X, Z), SEL(Z, Y).
+
+    A static plan estimates the unseen IDB ``SEL`` as "large", scans all
+    of ``Big`` first and probes ``SEL`` per row — all but one hub's rows
+    die, every round.  With observed sizes the planner starts from
+    ``SEL`` and probes ``Big``'s index; the semi-join pass reaches the
+    same shape from the other side by reducing ``Big`` to the tuples
+    whose hub appears in ``SEL`` before any row is materialised.
+    """
+    program = parse_program(
+        """
+        SEL(X, Y) :- Seed(X, Y).
+        SEL(X, Y) :- Seed(X, Z), SEL(Z, Y).
+        Q(X, Y) :- Big(X, Z), SEL(Z, Y).
+        """,
+        carrier="Q",
+    )
+    big = [(hubs + i, i % hubs) for i in range(n_big)]
+    fresh = hubs + n_big  # chain values disjoint from Big's columns
+    seed = [(0, fresh)] + [(fresh + j, fresh + j + 1) for j in range(chain - 1)]
+    universe = set(range(fresh + chain + 1))
+    db = Database(
+        universe,
+        [Relation("Big", 2, big), Relation("Seed", 2, seed)],
+        check=False,
+    )
+    return program, db
+
+
+def _lfp_static(
+    program: Program, db: Database, semijoin: bool, store: "PlanStore" = None
+) -> IDBMap:
+    """Naive least-fixpoint over statically compiled plans (private store)."""
+    store = store if store is not None else PlanStore()
+    plan = store.program_plan(program, db)
+    current = empty_idb(program)
+    while True:
+        interp = as_interpretation(program, db, current)
+        derived = {p: set() for p in program.idb_predicates}
+        for rule_plan in plan.plans:
+            derived[rule_plan.head_pred] |= execute_plan(
+                rule_plan, interp, stats=None, semijoin=semijoin
+            )
+        nxt = {
+            p: Relation(p, program.arity(p), tuples)
+            for p, tuples in derived.items()
+        }
+        if idb_equal(nxt, current):
+            return current
+        current = nxt
+
+
+def _lfp_adaptive(program: Program, db: Database, store: PlanStore) -> IDBMap:
+    """Naive least-fixpoint with per-round adaptive re-planning."""
+    plan = store.adaptive_program_plan(program, db)
+    current = empty_idb(program)
+    while True:
+        interp = as_interpretation(program, db, current)
+        derived = plan.consequences(interp)
+        nxt = {
+            p: Relation(p, program.arity(p), tuples)
+            for p, tuples in derived.items()
+        }
+        if idb_equal(nxt, current):
+            return current
+        current = nxt
+
+
+def adaptive_tables() -> List[Table]:
+    """Adaptive re-planning + semi-join reduction vs static plans.
+
+    The first table times the shipped execution path (statistics-driven
+    re-planning *and* the Yannakakis semi-join pass) against fully
+    static plans with the reduction disabled, on the hub workload the
+    static estimator misplans and on the E8 distance program (where the
+    adaptive path must not regress).  The second table exposes the
+    statistics the run actually recorded — the observability face of
+    the feedback loop.
+    """
+    table = Table(
+        "adaptive re-planning + semi-join reduction vs static plans",
+        ["engine/program", "adaptive s", "static s", "speedup", "equal", "ok"],
+    )
+    hub_program, hub_db = _hub_workload()
+    stats_store = PlanStore()
+    cases = [
+        (
+            "naive lfp/hub join (|Big|=4000)",
+            hub_program,
+            hub_db,
+            stats_store,
+        ),
+        (
+            "naive lfp/distance E8 (L_10)",
+            distance_program(),
+            graph_to_database(gg.path(10)),
+            PlanStore(),
+        ),
+    ]
+    for name, program, case_db, store in cases:
+        # Warm BOTH stores first: the table compares steady-state
+        # execution (bucketed re-planned variants are cached and shared,
+        # exactly like the process-wide store in production), not
+        # first-compile latency — neither cell includes compilation.
+        static_store = PlanStore()
+        _lfp_adaptive(program, case_db, store)
+        _lfp_static(program, case_db, semijoin=False, store=static_store)
+        adaptive, adaptive_s = _timed(
+            lambda p=program, d=case_db, s=store: _lfp_adaptive(p, d, s)
+        )
+        static, static_s = _timed(
+            lambda p=program, d=case_db, s=static_store: _lfp_static(
+                p, d, semijoin=False, store=s
+            )
+        )
+        equal = idb_equal(adaptive, static)
+        speedup = static_s / adaptive_s if adaptive_s > 0 else float("inf")
+        table.add(name, adaptive_s, static_s, "%.1fx" % speedup, equal, equal)
+    table.note(
+        "adaptive = bucketed re-planning from observed IDB sizes + semi-join "
+        "reduction (store pre-warmed: steady-state execution); static = "
+        "compile-time estimates only, reduction off"
+    )
+
+    # Plan-statistics table: what the feedback loop recorded while the
+    # hub case ran on its private store.
+    stats = stats_store.statistics
+    hits, misses, size = stats_store.stats()
+    big_card = stats.cardinality("Big")
+    sel_card = stats.cardinality("SEL")
+    sel_join = any(pred == "Big" for pred, _ in stats.join_keys())
+    stats_table = Table(
+        "plan statistics recorded during the hub run",
+        ["statistic", "value", "ok"],
+    )
+    stats_table.add("plans compiled (store misses)", misses, misses > 0)
+    stats_table.add("plan-store hits", hits, True)
+    stats_table.add("plan-store entries", size, True)
+    stats_table.add("relations with observed cardinality", len(stats.cards), len(stats.cards) >= 2)
+    stats_table.add("observed |Big|", big_card, big_card == 4000)
+    stats_table.add(
+        "observed |SEL| (recursive IDB, vs 'assume large')",
+        sel_card,
+        sel_card is not None and 0 < sel_card < 4000,
+    )
+    stats_table.add(
+        "join selectivity recorded for Big probes", sel_join, sel_join
+    )
+    stats_table.note(
+        "recorded by the batch executor into the store's Statistics; "
+        "maintenance deltas and alias relations are excluded by design"
+    )
+    return [table, stats_table]
 
 
 @register(
@@ -175,5 +340,6 @@ def run_perf() -> List[Table]:
     )
 
     # The serving path: materialized-view single-tuple update latency
-    # against from-scratch stratified recomputation (PR-3 subsystem).
-    return [table, batch_table, materialize_table()]
+    # against from-scratch stratified recomputation (PR-3 subsystem),
+    # then the adaptive re-planning + semi-join tables (PR-4 subsystem).
+    return [table, batch_table, materialize_table()] + adaptive_tables()

@@ -180,7 +180,9 @@ def ground_rule_instances(
     ]
 
     plan = PLAN_STORE.rule_plan(_edb_projection(rule, idb), db=interp)
-    subs = solve_plan(plan, interp)
+    # Observations feed the same store the projection compiles through,
+    # so repeated groundings benefit from recorded join selectivities.
+    subs = solve_plan(plan, interp, stats=PLAN_STORE.statistics)
 
     out: List[GroundRule] = []
     for sub in subs:

@@ -164,7 +164,9 @@ def evaluate_rule(rule: Rule, interp: Database, arities: Optional[Dict[str, int]
     themselves.  The pre-planner evaluator survives as
     :func:`evaluate_rule_legacy` and is property-tested equivalent.
     """
-    return execute_plan(PLAN_STORE.rule_plan(rule), interp)
+    return execute_plan(
+        PLAN_STORE.rule_plan(rule), interp, stats=PLAN_STORE.statistics
+    )
 
 
 def evaluate_rule_legacy(rule: Rule, interp: Database, arities: Optional[Dict[str, int]] = None) -> Set[Tuple]:

@@ -23,11 +23,30 @@ package now splits the work three ways:
   well-founded/SAT pipelines — share one compilation per input instead
   of compiling privately.
 
+Two adaptive layers close the loop between execution and planning:
+
+* :mod:`~repro.core.planning.statistics` — the batch executor records
+  observed relation cardinalities and join selectivities into the
+  :class:`Statistics` carried by the store; the compiler consults them
+  (and accepts exact observed IDB sizes) instead of the static
+  "assume large" guess;
+* :mod:`~repro.core.planning.adaptive` — :class:`AdaptiveProgramPlan` /
+  :class:`AdaptiveRulePlans` refresh per fixpoint round and re-plan any
+  rule whose observed inputs diverged beyond :data:`REPLAN_FACTOR`,
+  caching the variants under coarse cardinality buckets so growth
+  stages are compiled once, ever;
+
+and each plan carries a Yannakakis **semi-join reduction** schedule
+(:class:`SemiJoinStep`): before rows materialise, scanned relations are
+reduced to the tuples that can participate in some join, off cached
+index key sets.
+
 The PR-1 dict executor survives as :func:`solve_plan_rows_legacy` /
 :func:`execute_plan_rows_legacy` for the three-way equivalence property
 suite and the benchmarks' baseline.
 """
 
+from .adaptive import AdaptiveProgramPlan, AdaptiveRulePlans
 from .batch import BindingTable, execute_plan, solve_plan, solve_plan_table
 from .compiler import ProgramPlan, compile_program, compile_rule, compile_rules
 from .executor import execute_plan_rows_legacy, solve_plan_rows_legacy
@@ -42,10 +61,21 @@ from .plan import (
     ExtendDomain,
     NegFilter,
     RulePlan,
+    SemiJoinStep,
+)
+from .statistics import (
+    DEFAULT_STATISTICS,
+    MIN_REPLAN_SIZE,
+    REPLAN_FACTOR,
+    Statistics,
+    cardinality_bucket,
+    diverged,
 )
 from .store import PLAN_STORE, PlanStore
 
 __all__ = [
+    "AdaptiveProgramPlan",
+    "AdaptiveRulePlans",
     "AntiJoin",
     "AtomStep",
     "BatchJoin",
@@ -53,16 +83,23 @@ __all__ = [
     "CmpFilter",
     "CmpOp",
     "ComplementJoin",
+    "DEFAULT_STATISTICS",
     "DomainStep",
+    "MIN_REPLAN_SIZE",
     "ExtendDomain",
     "NegFilter",
     "PLAN_STORE",
     "PlanStore",
     "ProgramPlan",
+    "REPLAN_FACTOR",
     "RulePlan",
+    "SemiJoinStep",
+    "Statistics",
+    "cardinality_bucket",
     "compile_program",
     "compile_rule",
     "compile_rules",
+    "diverged",
     "execute_plan",
     "execute_plan_rows_legacy",
     "solve_plan",

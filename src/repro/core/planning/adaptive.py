@@ -1,0 +1,151 @@
+"""Adaptive re-planning: refresh compiled plans against observed sizes.
+
+A plan compiled before the first fixpoint round estimates every IDB
+relation with the same "unknown, assume large" placeholder; a few rounds
+in, the real sizes are sitting right there in the interpretation.  The
+wrappers here close that gap mid-fixpoint:
+
+* :class:`AdaptiveRulePlans` holds a rule list's current plans and, once
+  per round (:meth:`~AdaptiveRulePlans.refresh`), compares each plan's
+  planning-time estimates (:attr:`~repro.core.planning.plan.RulePlan.est_cards`)
+  with the cardinalities observed in the interpretation.  When some
+  input diverged by more than the configured factor
+  (:func:`~repro.core.planning.statistics.diverged`), the rule is
+  re-planned through the store with the observed sizes — so
+  ``_join_order`` stops guessing — under a key extended with *coarse
+  cardinality buckets* (:func:`~repro.core.planning.statistics.cardinality_bucket`).
+  Bucketed keys are what make re-planning cheap in steady state: the
+  re-planned variants coexist in the store with the statistics-free
+  originals and with each other, so revisiting a growth stage (another
+  engine, another run, the next stratum) hits the cache instead of
+  compiling.
+
+* :class:`AdaptiveProgramPlan` is the whole-program face, duck-typed to
+  :class:`~repro.core.planning.compiler.ProgramPlan` (``consequences``)
+  so ``theta``-driven engines adopt it without changes to their loops.
+
+The refresh itself costs one ``len()`` per adaptive predicate per rule
+per round — nothing against the joins it re-orders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ...db.database import Database
+from ..program import Program
+from ..rules import Rule
+from .batch import execute_plan
+from .plan import RulePlan
+from .statistics import REPLAN_FACTOR, diverged
+
+
+class AdaptiveRulePlans:
+    """A rule list's plans, kept fresh against observed cardinalities.
+
+    Constructed through
+    :meth:`~repro.core.planning.store.PlanStore.adaptive_rule_plans`;
+    the wrapper is cheap and per-run (the compiled plans underneath are
+    the store-cached, shared objects).  ``replans`` counts how many
+    times a stale plan was actually replaced — the bench harness
+    reports it.
+    """
+
+    __slots__ = ("store", "db", "small_preds", "factor", "plans", "replans")
+
+    def __init__(
+        self,
+        store,
+        rules: Iterable[Rule],
+        db: Optional[Database] = None,
+        small_preds: FrozenSet[str] = frozenset(),
+        factor: float = REPLAN_FACTOR,
+    ) -> None:
+        self.store = store
+        self.db = db
+        self.small_preds = small_preds
+        self.factor = factor
+        self.plans: List[RulePlan] = store.rule_plans(
+            rules, db=db, small_preds=small_preds
+        )
+        self.replans = 0
+
+    def refresh(self, interp: Database) -> List[RulePlan]:
+        """The current plans, re-planning any whose estimates went stale."""
+        plans = self.plans
+        factor = self.factor
+        for i, plan in enumerate(plans):
+            est_cards = plan.est_cards
+            if not est_cards:
+                continue
+            observed: Optional[Dict[str, int]] = None
+            for pred, estimate in est_cards:
+                rel = interp.get(pred)
+                size = len(rel) if rel is not None else 0
+                if diverged(estimate, size, factor):
+                    observed = {
+                        p: (len(r) if (r := interp.get(p)) is not None else 0)
+                        for p, _ in est_cards
+                    }
+                    break
+            if observed is not None:
+                plans[i] = self.store.rule_plan_adaptive(
+                    plan.rule,
+                    db=self.db,
+                    small_preds=self.small_preds,
+                    observed=observed,
+                    factor=factor,
+                )
+                self.replans += 1
+        return plans
+
+
+class AdaptiveProgramPlan:
+    """A whole program's plans with per-round adaptive refresh.
+
+    Duck-typed to :class:`~repro.core.planning.compiler.ProgramPlan`:
+    ``theta`` calls :meth:`consequences` per round, which refreshes the
+    rule plans against the round's interpretation before executing them.
+    """
+
+    __slots__ = ("program", "_adaptive")
+
+    def __init__(
+        self,
+        store,
+        program: Program,
+        db: Optional[Database] = None,
+        factor: float = REPLAN_FACTOR,
+    ) -> None:
+        self.program = program
+        self._adaptive = AdaptiveRulePlans(
+            store, program.rules, db=db, factor=factor
+        )
+
+    @property
+    def plans(self) -> Tuple[RulePlan, ...]:
+        return tuple(self._adaptive.plans)
+
+    @property
+    def replans(self) -> int:
+        """How many stale plans the refreshes have replaced so far."""
+        return self._adaptive.replans
+
+    def consequences(self, interp: Database) -> Dict[str, Set[Tuple]]:
+        """One-step consequences of every rule, grouped by head predicate."""
+        stats = self._adaptive.store.statistics
+        derived: Dict[str, Set[Tuple]] = {
+            p: set() for p in self.program.idb_predicates
+        }
+        for plan in self._adaptive.refresh(interp):
+            derived[plan.head_pred] |= execute_plan(plan, interp, stats=stats)
+        return derived
+
+    def __len__(self) -> int:
+        return len(self._adaptive.plans)
+
+    def __repr__(self) -> str:
+        return "AdaptiveProgramPlan(%d rules, %d replans)" % (
+            len(self._adaptive.plans),
+            self._adaptive.replans,
+        )

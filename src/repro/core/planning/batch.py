@@ -28,7 +28,7 @@ dicts once, at the end.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ...db.algebra import universe_product
 from ...db.database import Database
@@ -41,9 +41,19 @@ from .plan import (
     ExtendDomain,
     RulePlan,
 )
+from .statistics import DEFAULT_STATISTICS, Statistics
 
 Binding = Dict[Variable, Any]
 Row = Tuple[Any, ...]
+
+_DEFAULT_SINK = object()
+"""Sentinel distinguishing "use the default statistics" from an explicit
+``stats=None`` (record nothing — the materialize executors pass that)."""
+
+_MIN_REDUCE_SIZE = 32
+"""Semi-join floor: relations smaller than this are cheaper to join
+outright than to reduce — the pass skips them (the reduction is an
+optimisation; results are identical either way)."""
 
 
 class BindingTable:
@@ -80,7 +90,69 @@ class BindingTable:
         )
 
 
-def solve_plan_table(plan: RulePlan, interp: Database) -> BindingTable:
+def _semijoin_reduce(
+    plan: RulePlan, interp: Database
+) -> Optional[Dict[int, Set[Row]]]:
+    """Run the plan's Yannakakis prologue; reduced tuple sets by join index.
+
+    Returns ``None`` when some joined relation is absent or empty (the
+    join pipeline derives nothing; the executor's own early exit
+    handles it), otherwise a map from join-step index to the reduced
+    tuple set — only for steps the reduction actually shrank.  The
+    sweeps work off cached structures: a source's key set is its
+    relation's cached index bucket keys (:meth:`Relation.index_on`),
+    and a target is only rescanned when its key set is not already
+    covered — so a pass over already-reduced inputs (the common
+    steady-state of a converged fixpoint round) costs per *distinct
+    key*, not per tuple.
+    """
+    steps = plan.steps
+    rels = [interp.get(step.pred) for step in steps]
+    if any(rel is None or not rel for rel in rels):
+        return None
+    reduced: Dict[int, Set[Row]] = {}
+    for sj in plan.semijoin_steps:
+        target = reduced.get(sj.target)
+        target_size = len(target) if target is not None else len(rels[sj.target])
+        if target_size < _MIN_REDUCE_SIZE:
+            continue  # cheaper to join outright than to reduce
+        source = reduced.get(sj.source)
+        if source is not None:
+            source_keys: Any = {
+                tuple(t[c] for c in sj.source_columns) for t in source
+            }
+        else:
+            source_keys = rels[sj.source].index_on(sj.source_columns).keys()
+        if target is not None:
+            kept = {
+                t
+                for t in target
+                if tuple(t[c] for c in sj.target_columns) in source_keys
+            }
+            if len(kept) != len(target):
+                reduced[sj.target] = kept
+                if not kept:
+                    break
+        else:
+            index = rels[sj.target].index_on(sj.target_columns)
+            if all(key in source_keys for key in index.keys()):
+                continue  # fully covered: the semi-join would drop nothing
+            kept = set()
+            for key in index.keys():
+                if key in source_keys:
+                    kept.update(index.lookup(key))
+            reduced[sj.target] = kept
+            if not kept:
+                break
+    return reduced
+
+
+def solve_plan_table(
+    plan: RulePlan,
+    interp: Database,
+    stats: Optional[Statistics] = _DEFAULT_SINK,  # type: ignore[assignment]
+    semijoin: bool = True,
+) -> BindingTable:
     """Run the plan's batch program; the table binds ``plan.schema``.
 
     Existence-only completion variables (bound by an ``exists_only``
@@ -88,25 +160,59 @@ def solve_plan_table(plan: RulePlan, interp: Database) -> BindingTable:
     the satisfying assignments onto the variables something downstream
     actually reads (head, filters), which is all ``execute_plan`` and the
     grounder ever consume.
+
+    ``stats`` is the observation sink of the adaptive planner: every
+    batch join records the joined relation's cardinality and its
+    probe/match totals there (default: the process-wide
+    :data:`~repro.core.planning.statistics.DEFAULT_STATISTICS`; pass
+    ``None`` to record nothing — maintenance executors do, so delta
+    evaluation cannot poison the feedback).  ``semijoin=False`` skips
+    the plan's Yannakakis reduction prologue; results are identical
+    either way (property-tested), only the work differs.
     """
+    if stats is _DEFAULT_SINK:
+        stats = DEFAULT_STATISTICS
+    reduced: Optional[Dict[int, Set[Row]]] = None
+    if semijoin and plan.semijoin_steps:
+        reduced = _semijoin_reduce(plan, interp)
+        if reduced:
+            for join_idx, kept in reduced.items():
+                if not kept:
+                    return BindingTable(plan.schema, [])
     rows: List[Row] = [()]
     domain = None
+    join_idx = -1
     for op in plan.ops:
         if not rows:
             break
         t = type(op)
         if t is BatchJoin:
+            join_idx += 1
             rel = interp.get(op.pred)
             if rel is None or not rel:
                 rows = []
                 break
-            lookup = rel.index_on(op.key_columns).lookup
+            if stats is not None:
+                stats.record_cardinality(op.pred, len(rel))
+            kept = reduced.get(join_idx) if reduced else None
+            if kept is not None:
+                buckets: Dict[Tuple, List[Row]] = {}
+                key_columns = op.key_columns
+                for tup in kept:
+                    buckets.setdefault(
+                        tuple(tup[c] for c in key_columns), []
+                    ).append(tup)
+                lookup = lambda key, _b=buckets: _b.get(key, [])  # noqa: E731
+            else:
+                lookup = rel.index_on(op.key_columns).lookup
             key_spec = op.key
             out_positions = op.out_positions
             dup_checks = op.dup_checks
+            probes = len(rows)
+            all_const = all(is_const for is_const, _ in key_spec)
             out: List[Row] = []
             append = out.append
-            if all(is_const for is_const, _ in key_spec):
+            if all_const:
                 # Constant (or empty) key: one probe serves every row.
                 matches = lookup(tuple(payload for _, payload in key_spec))
                 matches = _dedup_check(matches, dup_checks)
@@ -143,6 +249,8 @@ def solve_plan_table(plan: RulePlan, interp: Database) -> BindingTable:
                     for m in lookup(key):
                         append(row + tuple(m[p] for p in out_positions))
             rows = out
+            if stats is not None and key_spec and not all_const:
+                stats.record_join(op.pred, op.key_columns, probes, len(out))
         elif t is AntiJoin:
             rel = interp.get(op.pred)
             if rel is None or not rel:
@@ -276,7 +384,12 @@ def _complement_join(
     return out
 
 
-def solve_plan(plan: RulePlan, interp: Database) -> List[Binding]:
+def solve_plan(
+    plan: RulePlan,
+    interp: Database,
+    stats: Optional[Statistics] = _DEFAULT_SINK,  # type: ignore[assignment]
+    semijoin: bool = True,
+) -> List[Binding]:
     """The plan's satisfying bindings as dicts over ``plan.schema``.
 
     This keeps the PR-1 ``solve_plan`` output contract the grounder
@@ -286,12 +399,17 @@ def solve_plan(plan: RulePlan, interp: Database) -> List[Binding]:
     plans whose head mentions every variable — the grounder's pseudo-head
     construction — always get total bindings.
     """
-    return solve_plan_table(plan, interp).to_bindings()
+    return solve_plan_table(plan, interp, stats=stats, semijoin=semijoin).to_bindings()
 
 
-def execute_plan(plan: RulePlan, interp: Database) -> Set[Tuple]:
+def execute_plan(
+    plan: RulePlan,
+    interp: Database,
+    stats: Optional[Statistics] = _DEFAULT_SINK,  # type: ignore[assignment]
+    semijoin: bool = True,
+) -> Set[Tuple]:
     """The set of ground head tuples the plan derives from ``interp``."""
-    table = solve_plan_table(plan, interp)
+    table = solve_plan_table(plan, interp, stats=stats, semijoin=semijoin)
     if not table.rows:
         return set()
     head = plan.head_cols

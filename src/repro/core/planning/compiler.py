@@ -26,7 +26,7 @@ complement representation of the paper's unsafe rules, replacing the
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ...db.database import Database
 from ..literals import Atom, Eq, Literal, Negation, Neq
@@ -49,7 +49,9 @@ from .plan import (
     Getter,
     NegFilter,
     RulePlan,
+    SemiJoinStep,
 )
+from .statistics import Statistics
 
 _LARGE = float("inf")
 """Size estimate for relations we know nothing about (unseen IDB)."""
@@ -87,17 +89,39 @@ def _take_ready(
 
 
 def _join_order(
-    rule: Rule, estimate
+    rule: Rule, estimate, stats: Optional[Statistics] = None
 ) -> List[Atom]:
-    """The greedy join order over the positive body atoms."""
+    """The greedy join order over the positive body atoms.
+
+    The size tie-breaker is a *cost*, not a raw cardinality: for an atom
+    that would be probed through a key (constants or already-bound
+    variables), the recorded join selectivity — mean matches per probe
+    for that (relation, key-columns) pair — replaces the relation size
+    when available, so a selective index probe into a big relation no
+    longer loses to a full scan of a smaller one.
+    """
     bound: Set[Variable] = set()
     order: List[Atom] = []
     remaining = list(enumerate(rule.positive_atoms()))
+
+    def cost(atom: Atom) -> float:
+        if stats is not None:
+            key_columns = tuple(
+                i
+                for i, arg in enumerate(atom.args)
+                if isinstance(arg, Constant) or arg in bound
+            )
+            if key_columns:
+                avg = stats.avg_matches(atom.pred, key_columns)
+                if avg is not None:
+                    return avg
+        return estimate(atom.pred)
+
     while remaining:
         remaining.sort(
             key=lambda pair: (
                 -len(pair[1].variables() & bound),
-                estimate(pair[1].pred),
+                cost(pair[1]),
                 pair[0],
             )
         )
@@ -105,6 +129,67 @@ def _join_order(
         order.append(atom)
         bound |= atom.variables()
     return order
+
+
+def _lower_semijoin(
+    order: Sequence[Atom], steps: Sequence[AtomStep]
+) -> Tuple[SemiJoinStep, ...]:
+    """The Yannakakis reduction schedule over the join order.
+
+    For every ordered pair of atoms sharing at least one variable, the
+    forward sweep reduces the later atom by the earlier one and the
+    backward sweep (in reverse pair order) the earlier by the later —
+    the classic two-pass reducer, exact on acyclic (alpha-acyclic) join
+    shapes and a sound, effective approximation on cyclic ones.  Pairs
+    in different connected components of the variable graph share no
+    variables and get no step, so cross products pass through intact.
+
+    A step is dropped when the target's matched columns all sit inside
+    the target join's own index key (``AtomStep.key_columns``): the
+    executor probes those columns with already-bound values, so tuples
+    the semi-join would drop are never visited anyway — the reduction
+    would be pure overhead.  What survives is exactly where Yannakakis
+    pays: the scan-side first atom, and reductions *against later atoms*
+    whose pruning the keyed probes cannot anticipate.
+    """
+    if len(order) < 2:
+        return ()
+    var_pos: List[Dict[Variable, int]] = []
+    for atom in order:
+        first: Dict[Variable, int] = {}
+        for i, arg in enumerate(atom.args):
+            if isinstance(arg, Variable) and arg not in first:
+                first[arg] = i
+        var_pos.append(first)
+    pairs: List[Tuple[int, int, Tuple[int, ...], Tuple[int, ...]]] = []
+    for j in range(len(order)):
+        for i in range(j):
+            shared = sorted(
+                set(var_pos[i]) & set(var_pos[j]), key=lambda v: v.name
+            )
+            if shared:
+                pairs.append(
+                    (
+                        i,
+                        j,
+                        tuple(var_pos[i][v] for v in shared),
+                        tuple(var_pos[j][v] for v in shared),
+                    )
+                )
+    def useful(target: int, target_columns: Tuple[int, ...]) -> bool:
+        return not set(target_columns) <= set(steps[target].key_columns)
+
+    forward = [
+        SemiJoinStep(target=j, target_columns=cj, source=i, source_columns=ci)
+        for i, j, ci, cj in pairs
+        if useful(j, cj)
+    ]
+    backward = [
+        SemiJoinStep(target=i, target_columns=ci, source=j, source_columns=cj)
+        for i, j, ci, cj in reversed(pairs)
+        if useful(i, ci)
+    ]
+    return tuple(forward + backward)
 
 
 # ----------------------------------------------------------------------
@@ -334,6 +419,8 @@ def compile_rule(
     rule: Rule,
     db: Optional[Database] = None,
     small_preds: FrozenSet[str] = frozenset(),
+    stats: Optional[Statistics] = None,
+    idb_sizes: Optional[Mapping[str, int]] = None,
 ) -> RulePlan:
     """Compile one rule into an executable plan.
 
@@ -349,6 +436,17 @@ def compile_rule(
     small_preds:
         Predicates the caller knows to be small (semi-naive deltas); the
         planner joins through them first.
+    stats:
+        Optional :class:`~repro.core.planning.statistics.Statistics`
+        supplying observed cardinalities (for predicates the database
+        cannot size) and join selectivities (refining the order's cost
+        tie-breaker).  Plans are correct without it — every estimate is
+        ordering advice only.
+    idb_sizes:
+        Cardinalities *observed mid-fixpoint* for predicates outside the
+        database — what the adaptive wrappers pass when re-planning a
+        stale rule.  Takes precedence over ``stats`` cardinalities (it
+        describes this very evaluation, not historical runs).
     """
 
     def estimate(pred: str) -> float:
@@ -358,11 +456,29 @@ def compile_rule(
             rel = db.get(pred)
             if rel is not None:
                 return float(len(rel))
+        if idb_sizes is not None and pred in idb_sizes:
+            return float(idb_sizes[pred])
+        if stats is not None:
+            card = stats.cardinality(pred)
+            if card is not None:
+                return float(card)
         return _LARGE
 
-    order = _join_order(rule, estimate)
+    order = _join_order(rule, estimate, stats=stats)
     pre_filters, steps, completions = _lower_rows(rule, order)
     schema, ops, head_cols = _lower_batch(rule, steps)
+    est_cards: Dict[str, float] = {}
+    if len(order) >= 2:
+        # A single-atom body has no ordering decision for estimates to
+        # improve, so such plans never go "stale" — est_cards stays
+        # empty and the adaptive refresh skips them entirely.
+        for atom in order:
+            pred = atom.pred
+            if pred in small_preds or pred in est_cards:
+                continue
+            if db is not None and db.get(pred) is not None:
+                continue  # database-sized: constant for the db value's lifetime
+            est_cards[pred] = estimate(pred)
     return RulePlan(
         rule=rule,
         head_pred=rule.head.pred,
@@ -375,17 +491,31 @@ def compile_rule(
         head_cols=head_cols,
         domain=db.sorted_universe() if db is not None else None,
         domain_universe=db.universe if db is not None else None,
+        semijoin_steps=_lower_semijoin(order, steps),
+        est_cards=tuple(sorted(est_cards.items())),
     )
 
 
 class ProgramPlan:
-    """All of a program's rules compiled, plus a one-round driver."""
+    """All of a program's rules compiled, plus a one-round driver.
 
-    __slots__ = ("program", "plans")
+    ``statistics`` is the sink execution observations are recorded into
+    — the statistics of the store that compiled this plan, so private
+    stores really do observe only their own executions (``None`` when
+    compiled outside any store: nothing is recorded).
+    """
 
-    def __init__(self, program: Program, plans: Sequence[RulePlan]) -> None:
+    __slots__ = ("program", "plans", "statistics")
+
+    def __init__(
+        self,
+        program: Program,
+        plans: Sequence[RulePlan],
+        statistics: Optional[Statistics] = None,
+    ) -> None:
         self.program = program
         self.plans: Tuple[RulePlan, ...] = tuple(plans)
+        self.statistics = statistics
 
     def consequences(self, interp: Database) -> Dict[str, Set[Tuple]]:
         """One-step consequences of every rule, grouped by head predicate."""
@@ -393,7 +523,9 @@ class ProgramPlan:
             p: set() for p in self.program.idb_predicates
         }
         for plan in self.plans:
-            derived[plan.head_pred] |= execute_plan(plan, interp)
+            derived[plan.head_pred] |= execute_plan(
+                plan, interp, stats=self.statistics
+            )
         return derived
 
     def __len__(self) -> int:
@@ -406,15 +538,27 @@ class ProgramPlan:
         )
 
 
-def compile_program(program: Program, db: Optional[Database] = None) -> ProgramPlan:
+def compile_program(
+    program: Program,
+    db: Optional[Database] = None,
+    stats: Optional[Statistics] = None,
+) -> ProgramPlan:
     """Compile every rule of ``program``, optionally using ``db`` statistics."""
-    return ProgramPlan(program, [compile_rule(r, db=db) for r in program.rules])
+    return ProgramPlan(
+        program,
+        [compile_rule(r, db=db, stats=stats) for r in program.rules],
+        statistics=stats,
+    )
 
 
 def compile_rules(
     rules: Iterable[Rule],
     db: Optional[Database] = None,
     small_preds: FrozenSet[str] = frozenset(),
+    stats: Optional[Statistics] = None,
 ) -> List[RulePlan]:
     """Compile a bare rule list (delta variants and other derived rules)."""
-    return [compile_rule(r, db=db, small_preds=small_preds) for r in rules]
+    return [
+        compile_rule(r, db=db, small_preds=small_preds, stats=stats)
+        for r in rules
+    ]

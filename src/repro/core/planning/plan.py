@@ -154,6 +154,33 @@ class ExtendDomain:
 
 
 @dataclass(frozen=True)
+class SemiJoinStep:
+    """One semi-join of the Yannakakis reduction prologue.
+
+    Before any :class:`BindingTable` row is materialised, the executor
+    can reduce each positive atom's relation to the tuples that agree
+    with *some* tuple of another positive atom on their shared
+    variables — tuples that fail this can participate in no satisfying
+    assignment, so dropping them is always sound (negations and
+    comparisons only ever remove further rows).  ``target``/``source``
+    index the plan's join order (:attr:`RulePlan.steps`);
+    ``target_columns``/``source_columns`` are the matching shared-variable
+    positions (first occurrence for repeated variables).
+
+    The full pass is one forward sweep over the join order followed by
+    one backward sweep (the classic two-pass reducer); both sweeps are
+    compiled into :attr:`RulePlan.semijoin_steps` in execution order.
+    Atoms in different connected components of the body's variable
+    graph share no step — pure cross products pass through unreduced.
+    """
+
+    target: int
+    target_columns: Tuple[int, ...]
+    source: int
+    source_columns: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
 class ComplementJoin:
     """Complete variables *through* a negated atom, complement-first.
 
@@ -206,6 +233,17 @@ class RulePlan:
     # executors use it instead of re-sorting ``interp.universe`` per call.
     domain: Optional[Tuple[Any, ...]] = None
     domain_universe: Optional[frozenset] = None
+    # Yannakakis semi-join reduction prologue over the join order
+    # (forward + backward sweep); empty when the body has fewer than two
+    # connected positive atoms.  Executed by the batch executor unless
+    # the per-call ``semijoin`` flag disables it.
+    semijoin_steps: Tuple[SemiJoinStep, ...] = ()
+    # Planning-time size estimates for the body predicates whose
+    # cardinality the compile-time database could NOT supply (IDB
+    # predicates, minus declared-small deltas): ``(pred, estimate)``
+    # pairs.  The adaptive wrappers compare these against the sizes
+    # observed mid-fixpoint to decide when the plan has gone stale.
+    est_cards: Tuple[Tuple[str, float], ...] = ()
 
     @property
     def needs_universe(self) -> bool:
@@ -231,6 +269,18 @@ class RulePlan:
     def describe(self) -> str:
         """A human-readable sketch of the plan (for debugging/benchmarks)."""
         parts = ["plan for %s" % self.rule]
+        for sj in self.semijoin_steps:
+            parts.append(
+                "  semi-join reduce %s/%d[%s] by %s/%d[%s]"
+                % (
+                    self.steps[sj.target].pred,
+                    self.steps[sj.target].arity,
+                    list(sj.target_columns),
+                    self.steps[sj.source].pred,
+                    self.steps[sj.source].arity,
+                    list(sj.source_columns),
+                )
+            )
         for op in self.ops:
             if isinstance(op, BatchJoin):
                 parts.append(

@@ -1,0 +1,209 @@
+"""Execution statistics: the feedback half of the adaptive planner.
+
+PR 1's compiler orders joins from *static* evidence only — EDB
+cardinalities read off the database at compile time and a constant
+"large" estimate for every IDB predicate.  That guess is exactly wrong
+for recursive programs, where the IDB overtakes the EDB within a few
+rounds.  :class:`Statistics` closes the loop: the batch executor
+(:mod:`repro.core.planning.batch`) records what it actually observed —
+per-relation cardinalities and per-(relation, key-columns) join
+selectivities — and the compiler consults those observations on the
+next compilation, while the adaptive wrappers
+(:mod:`repro.core.planning.adaptive`) trigger that recompilation
+mid-fixpoint when the observations diverge from the plan's
+planning-time estimates.
+
+One :class:`Statistics` instance is carried per
+:class:`~repro.core.planning.store.PlanStore` (the process-wide
+:data:`~repro.core.planning.store.PLAN_STORE` carries
+:data:`DEFAULT_STATISTICS`, which is also the batch executor's default
+sink), so private stores — tests, benchmarks — observe only their own
+executions.
+
+Maintenance work must not poison the feedback: the materialize
+subsystem evaluates delta variants whose relations (``P@ins``,
+``P@del``, ``P@old``, ``P@new``, DRed frontiers) are tiny change sets
+or historical snapshots, and the semi-naive engines read ``P__delta``
+relations that shrink to nothing as the fixpoint converges.  Recording
+those sizes under the real predicate names would teach the planner that
+big relations are small.  Every reserved name carries one of the marker
+substrings ``@`` or ``__`` (unparseable in user programs), so
+:meth:`Statistics.tracked` filters them all; the materialize executors
+additionally pass ``stats=None`` to skip recording entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+REPLAN_FACTOR = 4.0
+"""Default divergence factor: a plan goes stale when some input relation
+is this many times bigger or smaller than the plan's estimate for it.
+Doubles as the base of the coarse cardinality buckets in adaptive plan
+keys, so "diverged by the factor" and "moved to another bucket" agree."""
+
+MIN_REPLAN_SIZE = 16
+"""Re-planning floor: while every relevant relation is smaller than
+this, any join order finishes in microseconds and a recompile costs more
+than it could save, so estimates are never considered stale."""
+
+_MARKERS = ("@", "__")
+"""Substrings reserved for synthetic predicates (delta variants, alias
+relations, frontiers, pseudo-heads); none can appear in a parsed
+program's predicate names."""
+
+
+def cardinality_bucket(size: int, factor: float = REPLAN_FACTOR) -> int:
+    """The coarse logarithmic bucket of a relation cardinality.
+
+    Bucket 0 holds the empty relation, bucket ``b`` the sizes in
+    ``[factor**(b-1), factor**b)`` — so two sizes share a bucket only
+    when they are within ``factor`` of each other, which is what lets
+    re-planned variants coexist under distinct plan-store keys without
+    a new key per exact cardinality.
+    """
+    bucket = 0
+    threshold = 1.0
+    while size >= threshold:
+        bucket += 1
+        threshold *= factor
+    return bucket
+
+
+def diverged(estimate: float, observed: int, factor: float = REPLAN_FACTOR) -> bool:
+    """Whether an observed cardinality invalidates a planning-time estimate.
+
+    An infinite estimate (the compiler's unknown-IDB placeholder) is
+    treated as *no information*: any meaningful observation diverges
+    from it, so the first adaptive refresh replaces guess-based plans
+    with observation-based ones.  Finite estimates diverge
+    symmetrically — the relation grew past ``factor * estimate`` or
+    shrank below ``estimate / factor`` — because the non-cumulative
+    operator can move relation sizes in both directions.  Below
+    :data:`MIN_REPLAN_SIZE` nothing ever diverges: re-ordering joins
+    over a handful of tuples cannot repay a recompile.
+    """
+    if estimate == float("inf"):
+        return observed >= MIN_REPLAN_SIZE
+    hi = max(estimate, float(observed))
+    if hi < MIN_REPLAN_SIZE:
+        return False
+    lo = min(estimate, float(observed))
+    return hi >= factor * max(lo, 1.0)
+
+
+class Statistics:
+    """Observed cardinalities and join selectivities, per plan store.
+
+    ``cards`` maps a relation name to its most recently observed
+    cardinality.  Join observations accumulate per
+    ``(relation, key_columns)`` pair as ``(probes, matches)`` totals,
+    so :meth:`avg_matches` is the empirical mean number of tuples a
+    keyed index probe returns — the quantity the compiler's join-order
+    cost model actually wants, where a static size estimate
+    over-charges selective joins into big relations.
+
+    Observations are keyed by *predicate name alone*, deliberately: the
+    point is that they transfer across the database values of one
+    evolving workload (fixpoint rounds, update streams), which any
+    db-scoped key would forbid.  The cost is that two unrelated
+    programs sharing a predicate name read each other's numbers through
+    a shared store.  The exposure is bounded: ordering advice only
+    (never correctness), the adaptive wrappers always pass *exact*
+    observed sizes (``idb_sizes``), which take precedence over these
+    records, and a stale observation merely replaces the "unknown,
+    assume infinite" prior it would otherwise fall back to.  Workloads
+    that want full isolation use a private :class:`PlanStore` (tests
+    and benchmarks here do).
+    """
+
+    __slots__ = ("cards", "_joins", "_tracked")
+
+    def __init__(self) -> None:
+        self.cards: Dict[str, int] = {}
+        self._joins: Dict[Tuple[str, Tuple[int, ...]], List[int]] = {}
+        self._tracked: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Recording (the batch executor's side)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def tracked(pred: str) -> bool:
+        """Whether observations about ``pred`` are worth keeping.
+
+        Synthetic predicates — semi-naive deltas, maintenance aliases
+        and frontiers, grounding/counting pseudo-heads — all carry a
+        reserved marker substring; their sizes describe change sets,
+        not relations, and recording them would poison the estimates
+        for the real predicates they shadow.
+        """
+        return not any(marker in pred for marker in _MARKERS)
+
+    def _is_tracked(self, pred: str) -> bool:
+        """Memoised :meth:`tracked` — this sits on the join hot path."""
+        cached = self._tracked.get(pred)
+        if cached is None:
+            cached = self._tracked[pred] = Statistics.tracked(pred)
+        return cached
+
+    def record_cardinality(self, pred: str, size: int) -> None:
+        """Record the observed size of a relation (latest value wins)."""
+        if self._is_tracked(pred):
+            self.cards[pred] = size
+
+    def record_join(
+        self, pred: str, key_columns: Tuple[int, ...], probes: int, matches: int
+    ) -> None:
+        """Accumulate one batch join's probe/match totals."""
+        if probes <= 0 or not self._is_tracked(pred):
+            return
+        entry = self._joins.get((pred, key_columns))
+        if entry is None:
+            self._joins[(pred, key_columns)] = [probes, matches]
+        else:
+            entry[0] += probes
+            entry[1] += matches
+
+    # ------------------------------------------------------------------
+    # Consulting (the compiler's side)
+    # ------------------------------------------------------------------
+
+    def cardinality(self, pred: str) -> Optional[int]:
+        """The last observed cardinality of ``pred``, if any."""
+        return self.cards.get(pred)
+
+    def avg_matches(
+        self, pred: str, key_columns: Tuple[int, ...]
+    ) -> Optional[float]:
+        """Mean tuples returned per probe of ``pred`` keyed on ``key_columns``."""
+        entry = self._joins.get((pred, key_columns))
+        if entry is None:
+            return None
+        probes, matches = entry
+        return matches / probes
+
+    def join_keys(self):
+        """The ``(pred, key_columns)`` pairs with recorded selectivities."""
+        return self._joins.keys()
+
+    def clear(self) -> None:
+        """Forget every observation."""
+        self.cards.clear()
+        self._joins.clear()
+        self._tracked.clear()
+
+    def __len__(self) -> int:
+        return len(self.cards) + len(self._joins)
+
+    def __repr__(self) -> str:
+        return "Statistics(%d relations, %d join keys)" % (
+            len(self.cards),
+            len(self._joins),
+        )
+
+
+DEFAULT_STATISTICS = Statistics()
+"""The process-wide sink: what the batch executor records into unless a
+caller passes its own (or ``None`` to disable recording), and what the
+process-wide plan store compiles against."""

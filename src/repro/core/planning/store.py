@@ -19,12 +19,19 @@ process-wide :data:`PLAN_STORE`; tests may construct private stores.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from ...db.database import Database
 from ..program import Program
 from ..rules import Rule
+from .adaptive import AdaptiveProgramPlan, AdaptiveRulePlans
 from .compiler import ProgramPlan, RulePlan, compile_program, compile_rule
+from .statistics import (
+    DEFAULT_STATISTICS,
+    REPLAN_FACTOR,
+    Statistics,
+    cardinality_bucket,
+)
 
 
 class PlanStore:
@@ -36,16 +43,28 @@ class PlanStore:
         Entry cap; least-recently-used entries are evicted beyond it.
         Keys hold references to their databases, so the bound also caps
         how many database values the store can keep alive.
+    statistics:
+        The :class:`~repro.core.planning.statistics.Statistics` instance
+        every compilation through this store consults (observed
+        cardinalities for unknown predicates, join selectivities for the
+        order's cost model).  Defaults to a private instance; the
+        process-wide :data:`PLAN_STORE` shares
+        :data:`~repro.core.planning.statistics.DEFAULT_STATISTICS`, the
+        batch executor's default recording sink — which is what closes
+        the feedback loop.
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "_plans")
+    __slots__ = ("maxsize", "hits", "misses", "statistics", "_plans")
 
-    def __init__(self, maxsize: int = 512) -> None:
+    def __init__(
+        self, maxsize: int = 512, statistics: Optional[Statistics] = None
+    ) -> None:
         if maxsize <= 0:
             raise ValueError("maxsize must be positive, got %d" % maxsize)
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.statistics = statistics if statistics is not None else Statistics()
         self._plans: "OrderedDict" = OrderedDict()
 
     # ------------------------------------------------------------------
@@ -75,7 +94,9 @@ class PlanStore:
         """The compiled plan for one rule (compiling on first request)."""
         return self._lookup(
             ("rule", rule, db, small_preds),
-            lambda: compile_rule(rule, db=db, small_preds=small_preds),
+            lambda: compile_rule(
+                rule, db=db, small_preds=small_preds, stats=self.statistics
+            ),
         )
 
     def rule_plans(
@@ -87,13 +108,79 @@ class PlanStore:
         """Compiled plans for a rule list (delta variants and the like)."""
         return [self.rule_plan(r, db=db, small_preds=small_preds) for r in rules]
 
+    def rule_plan_adaptive(
+        self,
+        rule: Rule,
+        db: Optional[Database] = None,
+        small_preds: FrozenSet[str] = frozenset(),
+        observed: Mapping[str, int] = None,
+        factor: float = REPLAN_FACTOR,
+    ) -> RulePlan:
+        """A re-planned variant compiled against *observed* IDB sizes.
+
+        The key extends the plain rule key with a coarse cardinality
+        bucket per observed predicate, so variants for different growth
+        stages coexist — with each other and with the statistics-free
+        original — instead of thrashing one entry, and a fixpoint
+        revisiting a bucket (another engine, the next run) hits the
+        cache.  Within a bucket the exact sizes differ by less than the
+        divergence factor, which is precisely the regime where the
+        greedy order is insensitive to them.
+        """
+        observed = dict(observed or {})
+        buckets = tuple(
+            sorted(
+                (pred, cardinality_bucket(size, factor))
+                for pred, size in observed.items()
+            )
+        )
+        return self._lookup(
+            ("rule+stats", rule, db, small_preds, buckets),
+            lambda: compile_rule(
+                rule,
+                db=db,
+                small_preds=small_preds,
+                stats=self.statistics,
+                idb_sizes=observed,
+            ),
+        )
+
     def program_plan(
         self, program: Program, db: Optional[Database] = None
     ) -> ProgramPlan:
         """The compiled :class:`ProgramPlan` for a whole program."""
         return self._lookup(
             ("program", program, db),
-            lambda: compile_program(program, db=db),
+            lambda: compile_program(program, db=db, stats=self.statistics),
+        )
+
+    # ------------------------------------------------------------------
+    # Adaptive wrappers (per-run; the plans underneath stay shared)
+    # ------------------------------------------------------------------
+
+    def adaptive_program_plan(
+        self,
+        program: Program,
+        db: Optional[Database] = None,
+        factor: float = REPLAN_FACTOR,
+    ) -> AdaptiveProgramPlan:
+        """A :class:`~repro.core.planning.adaptive.AdaptiveProgramPlan`
+        over this store: ``theta``-compatible, re-plans rules mid-fixpoint
+        when observed input cardinalities diverge from the plans'
+        estimates by more than ``factor``."""
+        return AdaptiveProgramPlan(self, program, db=db, factor=factor)
+
+    def adaptive_rule_plans(
+        self,
+        rules: Iterable[Rule],
+        db: Optional[Database] = None,
+        small_preds: FrozenSet[str] = frozenset(),
+        factor: float = REPLAN_FACTOR,
+    ) -> AdaptiveRulePlans:
+        """An :class:`~repro.core.planning.adaptive.AdaptiveRulePlans`
+        over this store (the rule-list face: semi-naive delta variants)."""
+        return AdaptiveRulePlans(
+            self, rules, db=db, small_preds=small_preds, factor=factor
         )
 
     # ------------------------------------------------------------------
@@ -122,18 +209,43 @@ class PlanStore:
 
         def matches(key) -> bool:
             kind, obj, kdb = key[0], key[1], key[2]
+            is_rule_kind = kind in ("rule", "rule+stats")
             if db is not None and kdb != db:
                 return False
-            if rule is not None and not (kind == "rule" and obj == rule):
+            if rule is not None and not (is_rule_kind and obj == rule):
                 return False
             if program_rules is not None:
                 if kind == "program" and obj != program:
                     return False
-                if kind == "rule" and obj not in program_rules:
+                if is_rule_kind and obj not in program_rules:
                     return False
             return True
 
         doomed = [k for k in self._plans if matches(k)]
+        for k in doomed:
+            del self._plans[k]
+        return len(doomed)
+
+    def invalidate_lineage(self, lineage) -> int:
+        """Drop every entry keyed to a database of the given lineage.
+
+        ``Database.apply_delta`` is the one API that *supersedes* a
+        database value, and engines compile not only against that value
+        but against databases derived from it — the stratified engine's
+        per-stratum working databases, the grounder's interpretations.
+        Those derived values share the base value's lineage token
+        (functional updates propagate it), so when the base is
+        superseded this one call evicts the whole family eagerly —
+        entries that could otherwise only die by LRU churn, because no
+        future lookup can ever construct an equal key again.
+        """
+        if lineage is None:
+            return 0
+        doomed = [
+            k
+            for k in self._plans
+            if getattr(k[2], "_lineage", None) is lineage
+        ]
         for k in doomed:
             del self._plans[k]
         return len(doomed)
@@ -159,5 +271,7 @@ class PlanStore:
         )
 
 
-PLAN_STORE = PlanStore()
-"""The process-wide store every engine and wrapper compiles through."""
+PLAN_STORE = PlanStore(statistics=DEFAULT_STATISTICS)
+"""The process-wide store every engine and wrapper compiles through.
+It shares the batch executor's default recording sink, so statistics
+observed during execution feed the very next compilation."""

@@ -70,10 +70,14 @@ def incremental_inflationary_semantics(
         variants.extend(_delta_variants(rule, idb_preds))
 
     # Plans come from the shared store: the full program for round 1, the
-    # delta variants (joined through the small deltas first) for the rest.
+    # delta variants (joined through the small deltas first) for the
+    # rest — wrapped adaptively so a variant's non-delta IDB atoms are
+    # re-planned once their observed sizes diverge from the estimates.
     delta_preds = frozenset(_delta_name(p) for p in idb_preds)
     program_plan = PLAN_STORE.program_plan(program, db)
-    variant_plans = PLAN_STORE.rule_plans(variants, db=db, small_preds=delta_preds)
+    adaptive_variants = PLAN_STORE.adaptive_rule_plans(
+        variants, db=db, small_preds=delta_preds
+    )
 
     n = len(db.universe)
     bound = sum(n ** program.arity(p) for p in idb_preds) + 1
@@ -91,8 +95,10 @@ def incremental_inflationary_semantics(
             + [delta[p].with_name(_delta_name(p)) for p in idb_preds]
         )
         derived: Dict[str, Set[Tuple]] = {p: set() for p in idb_preds}
-        for plan in variant_plans:
-            derived[plan.head_pred] |= execute_plan(plan, interp)
+        for plan in adaptive_variants.refresh(interp):
+            derived[plan.head_pred] |= execute_plan(
+                plan, interp, stats=PLAN_STORE.statistics
+            )
         delta = {
             p: Relation(p, program.arity(p), derived[p] - current[p].tuples)
             for p in idb_preds

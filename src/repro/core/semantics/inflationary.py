@@ -60,7 +60,9 @@ def inflationary_semantics(
     bound = sum(n ** program.arity(p) for p in program.idb_predicates) + 1
     limit = bound if max_rounds is None else max_rounds
 
-    plan = PLAN_STORE.program_plan(program, db)  # shared store; compiled at most once
+    # Adaptive plans over the shared store: re-planned mid-fixpoint when
+    # the observed IDB sizes diverge from the planning-time estimates.
+    plan = PLAN_STORE.adaptive_program_plan(program, db)
     current = empty_idb(program)
     trace: Optional[List[IDBMap]] = [dict(current)] if keep_trace else None
     rounds = 0

@@ -58,7 +58,10 @@ def naive_least_fixpoint(
     bound = sum(n ** program.arity(p) for p in program.idb_predicates) + 1
     limit = bound if max_rounds is None else max_rounds
 
-    plan = PLAN_STORE.program_plan(program, db)  # shared store; compiled at most once
+    # Adaptive plans over the shared store: compiled at most once per
+    # (rule, db, cardinality-bucket) and re-planned mid-fixpoint when the
+    # observed IDB sizes diverge from the planning-time estimates.
+    plan = PLAN_STORE.adaptive_program_plan(program, db)
     current = empty_idb(program)
     trace = [dict(current)] if keep_trace else None
     rounds = 0

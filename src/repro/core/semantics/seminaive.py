@@ -76,10 +76,13 @@ def seminaive_least_fixpoint(
 
     # Plans come from the shared store — the delta variants included —
     # rather than compiling per run; the planner joins through the
-    # (small) deltas first.
+    # (small) deltas first.  The variants are wrapped adaptively: a
+    # variant's non-delta IDB atoms start as "unknown, assume large"
+    # guesses, so the wrapper re-plans them once the observed sizes
+    # diverge (bucketed store keys keep the variants shared).
     delta_preds = frozenset(_delta_name(p) for p in idb_preds)
     base_plans = PLAN_STORE.rule_plans(base_rules, db=db)
-    variant_plans = PLAN_STORE.rule_plans(
+    adaptive_variants = PLAN_STORE.adaptive_rule_plans(
         recursive_variants, db=db, small_preds=delta_preds
     )
 
@@ -94,7 +97,9 @@ def seminaive_least_fixpoint(
     interp = db.with_relations(current.values())
     derived: Dict[str, set] = {p: set() for p in idb_preds}
     for plan in base_plans:
-        derived[plan.head_pred] |= execute_plan(plan, interp)
+        derived[plan.head_pred] |= execute_plan(
+            plan, interp, stats=PLAN_STORE.statistics
+        )
     delta = {
         p: Relation(p, program.arity(p), derived[p] - current[p].tuples)
         for p in idb_preds
@@ -110,8 +115,10 @@ def seminaive_least_fixpoint(
             + [delta[p].with_name(_delta_name(p)) for p in idb_preds]
         )
         derived = {p: set() for p in idb_preds}
-        for plan in variant_plans:
-            derived[plan.head_pred] |= execute_plan(plan, interp)
+        for plan in adaptive_variants.refresh(interp):
+            derived[plan.head_pred] |= execute_plan(
+                plan, interp, stats=PLAN_STORE.statistics
+            )
         delta = {
             p: Relation(p, program.arity(p), derived[p] - current[p].tuples)
             for p in idb_preds

@@ -25,12 +25,28 @@ def _coerce(value: str) -> Any:
         return value
 
 
+_EMPTY_TUPLE_MARKER = "()"
+"""On-disk stand-in for the zero-ary empty tuple.
+
+``csv.writer.writerow(())`` emits a blank line and ``csv.reader`` skips
+blank lines, so without a marker a zero-ary relation containing ``()``
+(i.e. "true") and one containing nothing round-trip to the same file —
+exactly the ambiguity that made empty ``<rel>.insert.csv`` deltas
+unreadable.  Arity disambiguates on load: the marker row only means
+``()`` for zero-ary relations, while for arity 1 it is an ordinary
+one-field value.
+"""
+
+
 def load_relation(path: PathLike, name: str, arity: int) -> Relation:
     """Read a relation from a headerless CSV file, one tuple per row."""
     tuples = []
     with open(path, newline="") as f:
         for row in csv.reader(f):
             if not row:
+                continue
+            if arity == 0 and row == [_EMPTY_TUPLE_MARKER]:
+                tuples.append(())
                 continue
             if len(row) != arity:
                 raise ValueError(
@@ -42,11 +58,16 @@ def load_relation(path: PathLike, name: str, arity: int) -> Relation:
 
 
 def _write_rows(path: PathLike, rows) -> None:
-    """Write tuples as headerless CSV, rows sorted for determinism."""
+    """Write tuples as headerless CSV, rows sorted for determinism.
+
+    The zero-ary tuple is written as the explicit marker row
+    (:data:`_EMPTY_TUPLE_MARKER`) rather than a blank line, so a
+    zero-ary relation's truth value survives the round trip.
+    """
     with open(path, "w", newline="") as f:
         writer = csv.writer(f)
         for t in sorted(rows, key=repr):
-            writer.writerow(t)
+            writer.writerow(t if t else (_EMPTY_TUPLE_MARKER,))
 
 
 def dump_relation(rel: Relation, path: PathLike) -> None:
@@ -133,7 +154,10 @@ def load_delta(directory: PathLike, schema: dict) -> "Delta":
 def dump_delta(delta, directory: PathLike) -> None:
     """Write a delta as ``<relation>.insert.csv`` / ``.delete.csv`` files.
 
-    Empty sides are not written, so ``load_delta`` round-trips exactly.
+    Empty sides are not written, so ``load_delta`` round-trips exactly —
+    including zero-ary relations, whose "insert the empty tuple" side is
+    a file holding the explicit ``()`` marker row rather than an empty
+    (and formerly ambiguous) file.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)

@@ -28,7 +28,13 @@ class Database:
         When true (default) verify that all tuples use universe elements.
     """
 
-    __slots__ = ("universe", "_relations", "_active_domain", "_sorted_universe")
+    __slots__ = (
+        "universe",
+        "_relations",
+        "_active_domain",
+        "_sorted_universe",
+        "_lineage",
+    )
 
     def __init__(
         self,
@@ -43,6 +49,13 @@ class Database:
                 raise ValueError("duplicate relation name %r" % rel.name)
             rel_map[rel.name] = rel
         self._relations = rel_map
+        # Lineage token: shared by every database *derived* from this one
+        # (functional updates), replaced when this value is *superseded*
+        # (apply_delta).  Never part of equality/hashing; it exists so the
+        # plan store can evict a superseded value's whole derived family
+        # (per-stratum working databases, grounding interpretations) in
+        # one pass instead of leaking them until LRU churn.
+        self._lineage = object()
         if check:
             self._check_domains()
 
@@ -135,29 +148,35 @@ class Database:
     # Functional updates
     # ------------------------------------------------------------------
 
+    def _derive(self, relations) -> "Database":
+        """A functional-update result, sharing this database's lineage."""
+        out = Database(self.universe, relations, check=False)
+        out._lineage = self._lineage
+        return out
+
     def with_relation(self, rel: Relation) -> "Database":
         """Return a copy with ``rel`` added or replaced (same universe)."""
         new = dict(self._relations)
         new[rel.name] = rel
-        return Database(self.universe, new.values(), check=False)
+        return self._derive(new.values())
 
     def with_relations(self, rels: Iterable[Relation]) -> "Database":
         """Return a copy with every relation in ``rels`` added/replaced."""
         new = dict(self._relations)
         for rel in rels:
             new[rel.name] = rel
-        return Database(self.universe, new.values(), check=False)
+        return self._derive(new.values())
 
     def without(self, *names: str) -> "Database":
         """Return a copy with the named relations removed."""
         new = {k: v for k, v in self._relations.items() if k not in names}
-        return Database(self.universe, new.values(), check=False)
+        return self._derive(new.values())
 
     def restrict(self, names: Iterable[str]) -> "Database":
         """Return a copy keeping only the named relations."""
         keep = set(names)
         new = {k: v for k, v in self._relations.items() if k in keep}
-        return Database(self.universe, new.values(), check=False)
+        return self._derive(new.values())
 
     def apply_delta(self, delta, invalidate_plans: bool = True) -> "Database":
         """Apply per-relation insert/delete sets, returning a new database.
@@ -174,11 +193,16 @@ class Database:
         Each changed relation is produced with :meth:`Relation.evolve`,
         so its cached indexes, complements and keyed complements are
         patched from the old value's caches rather than rebuilt.  Plans
-        compiled against *this* (pre-delta) database value are dropped
-        from the process-wide plan store — this is the mutation API, and
-        the one code path where a database value is superseded rather
-        than merely derived from, so it owns the
-        :meth:`~repro.core.planning.PlanStore.invalidate` call.
+        compiled against *this* (pre-delta) database value — and against
+        any database **derived** from it (per-stratum working databases,
+        grounding interpretations: everything sharing its lineage token)
+        — are dropped from the process-wide plan store eagerly.  This is
+        the mutation API, the one code path where a database value is
+        superseded rather than merely derived from, so it owns the
+        :meth:`~repro.core.planning.PlanStore.invalidate` /
+        :meth:`~repro.core.planning.PlanStore.invalidate_lineage` calls;
+        without the lineage purge a long update stream fills the plan
+        store's LRU with entries no future lookup can ever hit.
 
         Returns ``self`` unchanged (all caches intact) when the delta is
         a no-op against the current contents.
@@ -207,6 +231,7 @@ class Database:
             from ..core.planning import PLAN_STORE
 
             PLAN_STORE.invalidate(db=self)
+            PLAN_STORE.invalidate_lineage(self._lineage)
         return out
 
     def active_domain(self) -> frozenset:

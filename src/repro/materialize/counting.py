@@ -71,7 +71,10 @@ class CountingState:
 
     def _accumulate(self, rule: Rule, variant: Rule, interp: Database, into: Counts, sign: int) -> None:
         plan = self.plans.plan(with_bindings_head(variant))
-        table = solve_plan_table(plan, interp)
+        # stats=None: maintenance runs over alias/changeset relations
+        # whose sizes describe deltas, not relations — recording them
+        # would poison the adaptive planner's feedback.
+        table = solve_plan_table(plan, interp, stats=None)
         if not table.rows:
             return
         project = head_projector(variant, plan)

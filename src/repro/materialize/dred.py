@@ -146,7 +146,10 @@ class RecursiveState:
         return out
 
     def _derive(self, variant: Rule, interp: Database) -> Set[Tup]:
-        return execute_plan(self.plans.plan(variant), interp)
+        # stats=None: over-delete/rederive rounds run over frontier and
+        # alias relations; their sizes are delta-shaped and must not
+        # feed the adaptive planner's cardinality statistics.
+        return execute_plan(self.plans.plan(variant), interp, stats=None)
 
     # ------------------------------------------------------------------
     # Phase 1: over-delete

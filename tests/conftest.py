@@ -9,6 +9,8 @@ from the repo root).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 from hypothesis import HealthCheck, settings
 
@@ -23,7 +25,18 @@ settings.register_profile(
     max_examples=40,
     suppress_health_check=[HealthCheck.too_slow],
 )
-settings.load_profile("repro")
+# CI profile: derandomized (fixed seed derived from each test), so runs
+# are reproducible across workers and reruns — a red CI build replays
+# with exactly the same examples.  Selected via HYPOTHESIS_PROFILE=ci.
+settings.register_profile(
+    "ci",
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
 
 # ----------------------------------------------------------------------

@@ -102,6 +102,78 @@ def random_programs(
     return Program(rules, carrier=_IDB_UNARY)
 
 
+_LEFT_VARS = [Variable(n) for n in ("X", "Y")]
+_RIGHT_VARS = [Variable(n) for n in ("U", "W")]
+
+
+@st.composite
+def _component_literals(draw, vars_pool, allow_negation: bool):
+    """A body literal whose variables come from one pool only."""
+    kinds = ["edb", "idb1", "idb2"]
+    if allow_negation:
+        kinds += ["neg_edb", "neg_idb1"]
+    kind = draw(st.sampled_from(kinds))
+    pick = st.sampled_from(vars_pool)
+    if kind == "edb":
+        return Atom(_EDB, (draw(pick), draw(pick)))
+    if kind == "idb1":
+        return Atom(_IDB_UNARY, (draw(pick),))
+    if kind == "idb2":
+        return Atom(_IDB_BINARY, (draw(pick), draw(pick)))
+    if kind == "neg_edb":
+        return Negation(Atom(_EDB, (draw(pick), draw(pick))))
+    return Negation(Atom(_IDB_UNARY, (draw(pick),)))
+
+
+@st.composite
+def disconnected_programs(draw, allow_negation: bool = True):
+    """Programs whose rule bodies have *disconnected* variable graphs.
+
+    Each rule's body splits into two components over disjoint variable
+    pools ({X, Y} and {U, W}) with at least one positive atom each, so
+    evaluating it takes a genuine cross product — the shape a semi-join
+    reduction pass must leave intact (there is no shared variable to
+    reduce through).  Heads mix variables from both components, so a
+    dropped component is observable in the derived tuples.
+    """
+    rules = []
+    # T/1 and S/2 both head at least one rule so arities are defined.
+    for pred, arity in ((_IDB_UNARY, 1), (_IDB_BINARY, 2)):
+        for _ in range(draw(st.integers(min_value=1, max_value=2))):
+            left = [Atom(_EDB, (draw(st.sampled_from(_LEFT_VARS)), draw(st.sampled_from(_LEFT_VARS))))]
+            left += draw(
+                st.lists(_component_literals(_LEFT_VARS, allow_negation), max_size=2)
+            )
+            right = [
+                draw(
+                    st.sampled_from(
+                        [
+                            Atom(_EDB, (_RIGHT_VARS[0], _RIGHT_VARS[1])),
+                            Atom(_IDB_BINARY, (_RIGHT_VARS[0], _RIGHT_VARS[1])),
+                            Atom(_IDB_UNARY, (_RIGHT_VARS[0],)),
+                        ]
+                    )
+                )
+            ]
+            right += draw(
+                st.lists(_component_literals(_RIGHT_VARS, allow_negation), max_size=2)
+            )
+            if arity == 1:
+                head = Atom(pred, (draw(st.sampled_from(_LEFT_VARS + _RIGHT_VARS)),))
+            else:
+                # One head variable from each component: the cross
+                # product is visible in the head tuples.
+                head = Atom(
+                    pred,
+                    (
+                        draw(st.sampled_from(_LEFT_VARS)),
+                        draw(st.sampled_from(_RIGHT_VARS)),
+                    ),
+                )
+            rules.append(Rule(head, left + right))
+    return Program(rules, carrier=_IDB_UNARY)
+
+
 @st.composite
 def positive_programs(draw, max_rules: int = 4):
     """A random negation-free program (paper's DATALOG class)."""

@@ -76,3 +76,53 @@ def test_load_delta_rejects_typoed_file(tmp_path):
     (tmp_path / "E.inserts.csv").write_text("1,2\n")  # note the plural typo
     with pytest.raises(ValueError):
         csvio.load_delta(tmp_path, {"E": 2})
+
+
+# ----------------------------------------------------------------------
+# Zero-ary relations: "contains the empty tuple" vs "empty" must survive
+# the round trip (the on-disk marker row disambiguates what a blank CSV
+# file could not).
+# ----------------------------------------------------------------------
+
+
+def test_zeroary_relation_roundtrip(tmp_path):
+    true_rel = Relation("B", 0, [()])
+    false_rel = Relation("B", 0, [])
+    true_path = tmp_path / "B_true.csv"
+    false_path = tmp_path / "B_false.csv"
+    csvio.dump_relation(true_rel, true_path)
+    csvio.dump_relation(false_rel, false_path)
+    assert csvio.load_relation(true_path, "B", 0) == true_rel
+    assert csvio.load_relation(false_path, "B", 0) == false_rel
+    # The two files are distinguishable on disk, not just in memory.
+    assert true_path.read_text() != false_path.read_text()
+
+
+def test_zeroary_marker_does_not_clash_with_unary_values(tmp_path):
+    rel = Relation("V", 1, [("()",), (1,)])
+    path = tmp_path / "V.csv"
+    csvio.dump_relation(rel, path)
+    assert csvio.load_relation(path, "V", 1) == rel
+
+
+def test_zeroary_delta_roundtrip(tmp_path):
+    from repro.materialize import Delta
+
+    delta = Delta(inserts={"B": [()]}, deletes={"C": [()]})
+    csvio.dump_delta(delta, tmp_path)
+    back = csvio.load_delta(tmp_path, {"B": 0, "C": 0})
+    assert back == delta
+    assert back.inserts("B") == frozenset([()])
+    assert back.deletes("C") == frozenset([()])
+
+
+def test_zeroary_empty_delta_roundtrip(tmp_path):
+    from repro.materialize import Delta
+
+    # Nothing changed: no files are written, and loading yields the
+    # empty change — NOT "insert the empty tuple".
+    delta = Delta(inserts={"B": []})
+    csvio.dump_delta(delta, tmp_path)
+    assert list(tmp_path.iterdir()) == []
+    back = csvio.load_delta(tmp_path, {"B": 0})
+    assert back.is_empty()

@@ -154,6 +154,43 @@ def test_apply_delta_can_skip_invalidation():
     assert PLAN_STORE.invalidate(db=db) == 1  # the entry survived
 
 
+def test_update_stream_keeps_plan_store_bounded():
+    # Regression: every apply_delta supersedes a db value, and engines
+    # also compile against *derived* databases (per-stratum working dbs,
+    # grounding interpretations).  Before the eager lineage eviction, a
+    # long update stream filled the LRU with plans no lookup could ever
+    # hit again; now each update evicts the superseded value's whole
+    # derived family, so the stream leaves only the newest generation.
+    from repro.materialize import Delta
+
+    program = _tc()
+    db = Database({0, 1}, [Relation("E", 2, [(0, 1)])])
+    before = len(PLAN_STORE)
+    for i in range(1000):
+        # Compile against the current value AND a database derived from
+        # it (what the stratified engine's working databases look like).
+        PLAN_STORE.program_plan(program, db)
+        derived = db.with_relation(Relation("S", 2, [(0, 1)]))
+        PLAN_STORE.rule_plan(program.rules[0], db=derived)
+        # Fresh values each step: the universe grows, so no db value in
+        # the stream ever repeats (the worst case for the old LRU).
+        db = db.apply_delta(Delta.insert("E", (i + 1, i + 2)))
+    assert len(PLAN_STORE) <= before + 8
+    assert len(PLAN_STORE) < PLAN_STORE.maxsize
+
+
+def test_apply_delta_evicts_plans_of_derived_databases():
+    from repro.materialize import Delta
+
+    db = Database({"ln-a", "ln-b"}, [Relation("E", 2, [("ln-a", "ln-b")])])
+    working = db.with_relation(Relation("S", 2, [("ln-a", "ln-b")]))
+    PLAN_STORE.rule_plan(_tc().rules[0], db=working)
+    db.apply_delta(Delta.insert("E", ("ln-b", "ln-a")))
+    # The derived working database's entry is gone too, not just the
+    # base value's: a second scan finds nothing left to drop.
+    assert PLAN_STORE.invalidate(db=working) == 0
+
+
 def test_materialized_view_survives_store_invalidation():
     # The view's maintenance plans are compiled db-free and referenced
     # view-locally, so the invalidation its own deltas trigger (and even

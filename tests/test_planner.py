@@ -20,7 +20,12 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings
 
-from strategies import positive_programs, random_programs, small_databases
+from strategies import (
+    disconnected_programs,
+    positive_programs,
+    random_programs,
+    small_databases,
+)
 
 from repro import Database, Relation, parse_program
 from repro.core.fixpoint import idb_equal, idb_union
@@ -83,12 +88,14 @@ def legacy_inflationary(program, db):
 
 
 def assert_three_way(rule, interp, arities):
-    """Legacy evaluator, dict executor, and batch executor must agree."""
+    """Legacy evaluator, dict executor, and batch executor must agree —
+    the batch executor with the semi-join reduction pass both on and off."""
     plan = compile_rule(rule)
     legacy = evaluate_rule_legacy(rule, interp, arities)
     dict_rows = execute_plan_rows_legacy(plan, interp)
-    batch = execute_plan(plan, interp)
-    assert batch == dict_rows == legacy
+    batch = execute_plan(plan, interp, semijoin=True)
+    batch_unreduced = execute_plan(plan, interp, semijoin=False)
+    assert batch == batch_unreduced == dict_rows == legacy
 
 
 @given(random_programs(), small_databases())
@@ -265,6 +272,59 @@ def test_existence_checks_ignore_out_of_universe_tuples():
         program2, db, {"S": Relation("S", 2, [(1, 2)]), "T": Relation("T", 1, [])}
     )
     assert_three_way(program2.rules[1], interp2, program2.arities)
+
+
+@given(disconnected_programs(), small_databases())
+def test_cross_product_bodies_survive_semijoin_reduction(program, db):
+    # Bodies with disconnected variable graphs are pure cross products:
+    # the semi-join pass has nothing to reduce through and must not drop
+    # a component.  All three executors (batch with reduction on AND
+    # off) agree with the legacy evaluator on every rule.
+    interp = as_interpretation(program, db, theta_legacy(program, db))
+    arities = program.arities
+    for rule in program.rules:
+        assert_three_way(rule, interp, arities)
+
+
+def test_semijoin_steps_skip_disconnected_components():
+    # E(X, Y) x E(U, W): no shared variable, no reduction step.
+    program = parse_program("S(X, U) :- E(X, Y), E(U, W).")
+    plan = compile_rule(program.rules[0])
+    assert plan.semijoin_steps == ()
+
+
+def test_semijoin_reduces_scan_side_only_when_probes_cannot():
+    # TC body E(X, Z), S(Z, Y): the forward step (reduce S by E on S's
+    # column 0) is dropped — the join already probes S keyed on that
+    # column — while the backward step (reduce the scanned E by S) stays.
+    program = parse_program("S(X, Y) :- E(X, Z), S(Z, Y).")
+    db = Database({1, 2}, [Relation("E", 2, [(1, 2)])])
+    plan = compile_rule(program.rules[0], db=db)
+    assert len(plan.semijoin_steps) == 1
+    (step,) = plan.semijoin_steps
+    assert plan.steps[step.target].pred == "E"
+    assert plan.steps[step.source].pred == "S"
+    assert "semi-join" in plan.describe()
+
+
+def test_semijoin_reduction_prunes_dead_scan_tuples():
+    # Q(X, Y) :- Big(X, Z), SEL(Z, Y): only Big tuples whose Z appears in
+    # SEL can contribute; with the reduction on, the scan side is cut
+    # down before rows are materialised, and results are identical.
+    program = parse_program("Q(X, Y) :- Big(X, Z), SEL(Z, Y).", carrier="Q")
+    db = Database(
+        set(range(10)),
+        [
+            Relation("Big", 2, [(i, i % 5) for i in range(5, 10)]),
+            Relation("SEL", 2, [(0, 9), (1, 9)]),
+        ],
+    )
+    rule = program.rules[0]
+    plan = compile_rule(rule, db=db)
+    assert plan.semijoin_steps  # Big and SEL share Z
+    reduced = execute_plan(plan, db, semijoin=True)
+    unreduced = execute_plan(plan, db, semijoin=False)
+    assert reduced == unreduced == {(5, 9), (6, 9)}
 
 
 def test_program_plan_consequences_groups_by_head():
