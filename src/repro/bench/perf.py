@@ -42,6 +42,7 @@ from ..graphs.encode import graph_to_database
 from ..queries import distance_program, pi1, transitive_closure_program
 from .harness import Table, register
 from .materialize_perf import materialize_table
+from .wellfounded_perf import wellfounded_table
 
 
 def _legacy_least_fixpoint(program: Program, db: Database) -> IDBMap:
@@ -341,5 +342,11 @@ def run_perf() -> List[Table]:
 
     # The serving path: materialized-view single-tuple update latency
     # against from-scratch stratified recomputation (PR-3 subsystem),
-    # then the adaptive re-planning + semi-join tables (PR-4 subsystem).
-    return [table, batch_table, materialize_table()] + adaptive_tables()
+    # the adaptive re-planning + semi-join tables (PR-4 subsystem), and
+    # live well-founded views against alternating-fixpoint recomputation
+    # (PR-5 subsystem, the non-stratifiable workload class).
+    return (
+        [table, batch_table, materialize_table()]
+        + adaptive_tables()
+        + [wellfounded_table()]
+    )

@@ -5,14 +5,18 @@ Usage::
     python -m repro run PROGRAM.dl --db DIR [--semantics inflationary]
     python -m repro analyze PROGRAM.dl --db DIR [--count-limit N]
     python -m repro classify PROGRAM.dl
-    python -m repro update PROGRAM.dl --db DIR --delta DIR [--semantics ...]
+    python -m repro update PROGRAM.dl --db DIR --delta DIR [--delta DIR2 ...]
+        [--semantics stratified|inflationary|wellfounded] [--batch]
 
 ``--db DIR`` points at a directory of headerless ``<relation>.csv`` files
 (one tuple per row); the schema is inferred from the program's EDB arities.
 ``update`` builds a materialized view over the database, applies the
-delta found in ``--delta DIR`` (``<relation>.insert.csv`` /
+deltas found in the ``--delta`` directories (``<relation>.insert.csv`` /
 ``<relation>.delete.csv``, validated against the EDB schema) and prints
-the changeset — every EDB and IDB tuple that moved.
+the changesets — every EDB and IDB tuple that moved; ``--batch`` folds
+all deltas into one transaction, ``--semantics wellfounded`` maintains
+the three-valued model of non-stratifiable programs (changes to the
+undefined partition print under ``pred@undef``).
 """
 
 from __future__ import annotations
@@ -84,20 +88,37 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_update(args: argparse.Namespace) -> int:
-    """Apply a CSV delta to a materialized view and print the changeset."""
+    """Apply CSV deltas to a materialized view and print the changesets.
+
+    ``--delta`` may repeat; with ``--batch`` the deltas are applied as a
+    single transaction (one maintenance pass, one undo-log entry),
+    otherwise sequentially with one changeset each.  Under
+    ``--semantics wellfounded`` the changeset reports the *true*
+    partition under each predicate's own name and the *undefined*
+    partition under ``pred@undef``.
+    """
     from .materialize import MaterializedView
 
     program = _load_program(args.program, carrier=args.carrier)
     db = _load_database(args.db, program)
     schema = {pred: program.arity(pred) for pred in program.edb_predicates}
-    delta = csvio.load_delta(args.delta, schema)
+    deltas = [csvio.load_delta(directory, schema) for directory in args.delta]
     view = MaterializedView(program, db, semantics=args.semantics)
-    changeset = view.apply(delta)
-    print(
-        "engine=%s semantics=%s delta=%r"
-        % (view.result.engine, args.semantics, delta)
-    )
-    print(changeset.format())
+    if args.batch:
+        changeset = view.apply_many(deltas)
+        print(
+            "engine=%s semantics=%s batch of %d delta(s)"
+            % (view.result.engine, args.semantics, len(deltas))
+        )
+        print(changeset.format())
+    else:
+        for delta in deltas:
+            changeset = view.apply(delta)
+            print(
+                "engine=%s semantics=%s delta=%r"
+                % (view.result.engine, args.semantics, delta)
+            )
+            print(changeset.format())
     if args.out:
         csvio.dump_database(view.db, args.out)
     return 0
@@ -172,10 +193,20 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument(
         "--delta",
         required=True,
-        help="directory of <name>.insert.csv / <name>.delete.csv files",
+        action="append",
+        help="directory of <name>.insert.csv / <name>.delete.csv files "
+        "(repeatable; see --batch)",
     )
     update.add_argument(
-        "--semantics", choices=["stratified", "inflationary"], default="stratified"
+        "--batch",
+        action="store_true",
+        help="apply all --delta directories as one transaction "
+        "(a single maintenance pass over the composed delta)",
+    )
+    update.add_argument(
+        "--semantics",
+        choices=["stratified", "inflationary", "wellfounded"],
+        default="stratified",
     )
     update.add_argument("--carrier", default=None, help="goal predicate")
     update.add_argument(

@@ -27,12 +27,21 @@ cached relation indexes are shared with the fixpoint engines.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from ..db.database import Database
 from ..db.relation import Relation
+from .deltavariants import (
+    PlanCache,
+    del_name,
+    delta_variant,
+    ins_name,
+    new_name,
+    old_name,
+)
 from .literals import Atom, Eq, Negation, Neq
 from .planning import PLAN_STORE, solve_plan
 from .program import Program
@@ -165,25 +174,17 @@ def _edb_projection(rule: Rule, idb: FrozenSet[str]) -> Rule:
     return Rule(Atom("__grounding__", tuple(all_vars)), edb_body)
 
 
-def ground_rule_instances(
-    rule: Rule, program: Program, interp: Database
-) -> List[GroundRule]:
-    """All ground instances of one rule over the database's universe.
-
-    EDB literals and comparisons are solved away during instantiation;
-    the returned instances carry only IDB literals.
-    """
-    idb = program.idb_predicates
+def _idb_literals(rule: Rule, idb: FrozenSet[str]):
+    """The rule's IDB literals: ``(positive atoms, negated literals)``."""
     idb_positives = [a for a in rule.positive_atoms() if a.pred in idb]
     idb_negatives = [
         t for t in rule.body if isinstance(t, Negation) and t.atom.pred in idb
     ]
+    return idb_positives, idb_negatives
 
-    plan = PLAN_STORE.rule_plan(_edb_projection(rule, idb), db=interp)
-    # Observations feed the same store the projection compiles through,
-    # so repeated groundings benefit from recorded join selectivities.
-    subs = solve_plan(plan, interp, stats=PLAN_STORE.statistics)
 
+def _instances(rule, idb_positives, idb_negatives, subs) -> List[GroundRule]:
+    """Ground instances of ``rule`` under each total binding in ``subs``."""
     out: List[GroundRule] = []
     for sub in subs:
         head = (rule.head.pred, rule.head.ground_tuple(sub))
@@ -191,6 +192,29 @@ def ground_rule_instances(
         neg = tuple((n.atom.pred, n.atom.ground_tuple(sub)) for n in idb_negatives)
         out.append(GroundRule(head, pos, neg))
     return out
+
+
+def ground_rule_instances(
+    rule: Rule, program: Program, interp: Database
+) -> List[GroundRule]:
+    """All ground instances of one rule over the database's universe.
+
+    EDB literals and comparisons are solved away during instantiation;
+    the returned instances carry only IDB literals.  The list may repeat
+    a ground rule: distinct bindings of variables occurring only in EDB
+    literals collapse to the same IDB-only instance.
+    :func:`ground_program` deduplicates;
+    :class:`LiveGroundProgram` *counts* the multiplicity, which is what
+    makes its patching under EDB deltas exact.
+    """
+    idb = program.idb_predicates
+    idb_positives, idb_negatives = _idb_literals(rule, idb)
+
+    plan = PLAN_STORE.rule_plan(_edb_projection(rule, idb), db=interp)
+    # Observations feed the same store the projection compiles through,
+    # so repeated groundings benefit from recorded join selectivities.
+    subs = solve_plan(plan, interp, stats=PLAN_STORE.statistics)
+    return _instances(rule, idb_positives, idb_negatives, subs)
 
 
 def ground_program(program: Program, db: Database) -> GroundProgram:
@@ -207,3 +231,176 @@ def ground_program(program: Program, db: Database) -> GroundProgram:
                 seen.add(g)
                 ordered.append(g)
     return GroundProgram(program, db, ordered)
+
+
+class GroundingPatchError(ValueError):
+    """The ground program cannot be patched; re-ground from scratch.
+
+    Raised when an update enlarges the universe: every completion
+    variable of every EDB projection quantifies over the universe, so
+    growth multiplies binding spaces behind the backs of the maintained
+    instance counts (the same reason the counting maintenance of
+    :mod:`repro.materialize.counting` falls back).
+    """
+
+
+class LiveGroundProgram:
+    """A ground program kept live under EDB deltas.
+
+    Grounds ``(program, db)`` once, keeping for every ground rule the
+    number of EDB-projection bindings that produce it, then *patches*
+    the instantiation per update instead of re-grounding: the telescoping
+    delta variants of :mod:`repro.core.deltavariants` — applied to each
+    rule's EDB projection under persistent ``@old``/``@new`` alias
+    relations — enumerate exactly the bindings the delta gained and
+    lost, and a ground rule enters (leaves) the instantiation when its
+    binding count rises from (returns to) zero.  Work per update is
+    proportional to the delta's binding footprint: every variant joins
+    through the small ``@ins``/``@del`` change sets first.
+
+    The alias relations :meth:`~repro.db.relation.Relation.evolve`
+    across updates, so their cached indexes are patched, never rebuilt —
+    the same machinery :class:`repro.materialize.view.MaterializedView`
+    uses for its maintenance aliases.  Plans compiled against the
+    *superseded* database value are evicted from the shared store by
+    :meth:`~repro.db.database.Database.apply_delta`'s lineage purge;
+    the variant plans this class runs are compiled database-free (keyed
+    by rule + alias names only), so they survive every update.
+    """
+
+    __slots__ = ("program", "db", "_counts", "_aliases", "_plans", "_rule_info")
+
+    def __init__(self, program: Program, db: Database) -> None:
+        self.program = program
+        self.db = db
+        counts: Counter = Counter()
+        for rule in program.rules:
+            counts.update(ground_rule_instances(rule, program, db))
+        self._counts: Dict[GroundRule, int] = counts
+        small = set()
+        for name in db.relation_names():
+            small.add(ins_name(name))
+            small.add(del_name(name))
+        self._plans = PlanCache(frozenset(small))
+        self._aliases: Dict[str, Relation] = {}
+        for name in db.relation_names():
+            rel = db[name]
+            self._aliases[old_name(name)] = rel.with_name(old_name(name))
+            self._aliases[new_name(name)] = rel.with_name(new_name(name))
+        # Everything derivable from the static program is derived once:
+        # per rule, its IDB-literal split and — per EDB predicate the
+        # projection reads — the (gained, lost) delta-variant pair of
+        # every position reading it.  ``apply`` is a pure lookup; only
+        # the plan executions are genuinely per-update work.
+        idb = program.idb_predicates
+        self._rule_info = []
+        for rule in program.rules:
+            proj = _edb_projection(rule, idb)
+            variants_by_pred: Dict[str, List[Tuple[Rule, Rule]]] = {}
+            for position, literal in enumerate(proj.body):
+                if isinstance(literal, Atom):
+                    pred = literal.pred
+                elif isinstance(literal, Negation):
+                    pred = literal.atom.pred
+                else:
+                    continue
+                variants_by_pred.setdefault(pred, []).append(
+                    (
+                        delta_variant(proj, position, gained=True),
+                        delta_variant(proj, position, gained=False),
+                    )
+                )
+            self._rule_info.append(
+                (rule, *_idb_literals(rule, idb), variants_by_pred)
+            )
+
+    @property
+    def rules(self) -> FrozenSet[GroundRule]:
+        """The current ground rules (positive binding count)."""
+        return frozenset(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def apply(
+        self,
+        new_db: Database,
+        changes: Mapping[str, Tuple[FrozenSet[Tuple], FrozenSet[Tuple]]],
+    ) -> Tuple[FrozenSet[GroundRule], FrozenSet[GroundRule]]:
+        """Patch the instantiation under an *effective* EDB delta.
+
+        ``changes`` maps each changed relation to its effective
+        ``(inserted, deleted)`` tuple sets against the pre-change
+        database; ``new_db`` is the post-change database (same
+        universe).  Returns the ``(added, removed)`` ground-rule sets.
+
+        Raises
+        ------
+        GroundingPatchError
+            When ``new_db``'s universe differs from the grounding
+            universe — callers must rebuild from scratch then.
+        """
+        if new_db.universe != self.db.universe:
+            raise GroundingPatchError(
+                "universe changed (%d -> %d elements); the ground program "
+                "must be rebuilt" % (len(self.db.universe), len(new_db.universe))
+            )
+        changed = frozenset(n for n, (ins, dels) in changes.items() if ins or dels)
+        if not changed:
+            self.db = new_db
+            return frozenset(), frozenset()
+
+        aliases = self._aliases
+        change_rels: List[Relation] = []
+        for name in changed:
+            ins, dels = changes[name]
+            arity = self.db[name].arity
+            aliases[new_name(name)] = aliases[new_name(name)].evolve(ins, dels)
+            change_rels.append(Relation(ins_name(name), arity, ins))
+            change_rels.append(Relation(del_name(name), arity, dels))
+        interp = Database(
+            new_db.universe, list(aliases.values()) + change_rels, check=False
+        )
+
+        diff: Counter = Counter()
+        for rule, idb_positives, idb_negatives, variants_by_pred in self._rule_info:
+            for pred in changed:
+                for gained, lost in variants_by_pred.get(pred, ()):
+                    for sign, variant in ((+1, gained), (-1, lost)):
+                        # stats=None: alias/change-set sizes describe
+                        # deltas, not relations — they must not feed the
+                        # planner.
+                        subs = solve_plan(
+                            self._plans.plan(variant), interp, stats=None
+                        )
+                        for g in _instances(rule, idb_positives, idb_negatives, subs):
+                            diff[g] += sign
+
+        added: Set[GroundRule] = set()
+        removed: Set[GroundRule] = set()
+        counts = self._counts
+        for g, change in diff.items():
+            if not change:
+                continue
+            old = counts.get(g, 0)
+            new = old + change
+            if new < 0:
+                raise AssertionError(
+                    "ground-instance count of %s fell below zero (%d)" % (g, new)
+                )
+            if new == 0:
+                counts.pop(g, None)
+                if old:
+                    removed.add(g)
+            else:
+                counts[g] = new
+                if not old:
+                    added.add(g)
+
+        # The next update's pre-change state is this update's post-change
+        # state: catch the @old aliases up by the same deltas.
+        for name in changed:
+            ins, dels = changes[name]
+            aliases[old_name(name)] = aliases[old_name(name)].evolve(ins, dels)
+        self.db = new_db
+        return frozenset(added), frozenset(removed)

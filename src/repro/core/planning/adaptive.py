@@ -30,7 +30,7 @@ per round — nothing against the joins it re-orders.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ...db.database import Database
 from ..program import Program
@@ -49,9 +49,25 @@ class AdaptiveRulePlans:
     the store-cached, shared objects).  ``replans`` counts how many
     times a stale plan was actually replaced — the bench harness
     reports it.
+
+    ``known_sizes`` carries cardinalities the caller holds as *facts*
+    rather than estimates — the stratified engine passes the final sizes
+    of every already-evaluated lower stratum.  Known predicates are
+    compiled in from the start (so the first plan is built from evidence
+    instead of the "unknown, assume large" placeholder) and exempted
+    from divergence checks: a frozen lower stratum cannot go stale, so
+    re-discovering its size mid-fixpoint would be a wasted recompile.
     """
 
-    __slots__ = ("store", "db", "small_preds", "factor", "plans", "replans")
+    __slots__ = (
+        "store",
+        "db",
+        "small_preds",
+        "factor",
+        "known_sizes",
+        "plans",
+        "replans",
+    )
 
     def __init__(
         self,
@@ -60,26 +76,67 @@ class AdaptiveRulePlans:
         db: Optional[Database] = None,
         small_preds: FrozenSet[str] = frozenset(),
         factor: float = REPLAN_FACTOR,
+        known_sizes: Optional[Mapping[str, int]] = None,
     ) -> None:
         self.store = store
         self.db = db
         self.small_preds = small_preds
         self.factor = factor
-        self.plans: List[RulePlan] = store.rule_plans(
-            rules, db=db, small_preds=small_preds
-        )
+        self.known_sizes: Dict[str, int] = dict(known_sizes or {})
+        self.plans: List[RulePlan] = []
+        for rule in rules:
+            # Bake in only the sizes of predicates this rule reads, so
+            # the bucketed store key stays canonical — a rule untouched
+            # by the known predicates compiles to the plain shared plan.
+            relevant = self._relevant_known(rule)
+            if relevant:
+                self.plans.append(
+                    store.rule_plan_adaptive(
+                        rule,
+                        db=db,
+                        small_preds=small_preds,
+                        observed=relevant,
+                        factor=factor,
+                    )
+                )
+            else:
+                self.plans.append(
+                    store.rule_plan(rule, db=db, small_preds=small_preds)
+                )
         self.replans = 0
+
+    def _relevant_known(self, rule: Rule) -> Dict[str, int]:
+        """The known sizes worth baking into ``rule``'s plan key.
+
+        Restricted to predicates the rule reads *and* the database
+        cannot size: a db-present predicate is already exact at compile
+        time (``estimate`` consults the db first and such predicates
+        never enter ``est_cards``), so pinning it again would only
+        compile a content-identical plan under a second bucketed key.
+        """
+        if not self.known_sizes:
+            return {}
+        body = rule.body_predicates()
+        db = self.db
+        return {
+            p: s
+            for p, s in self.known_sizes.items()
+            if p in body and (db is None or db.get(p) is None)
+        }
 
     def refresh(self, interp: Database) -> List[RulePlan]:
         """The current plans, re-planning any whose estimates went stale."""
         plans = self.plans
         factor = self.factor
+        known = self.known_sizes
         for i, plan in enumerate(plans):
             est_cards = plan.est_cards
             if not est_cards:
                 continue
             observed: Optional[Dict[str, int]] = None
             for pred, estimate in est_cards:
+                if pred in known:
+                    continue  # a fact, not a discovery — never stale
                 rel = interp.get(pred)
                 size = len(rel) if rel is not None else 0
                 if diverged(estimate, size, factor):
@@ -87,6 +144,10 @@ class AdaptiveRulePlans:
                         p: (len(r) if (r := interp.get(p)) is not None else 0)
                         for p, _ in est_cards
                     }
+                    # Pin the known facts, filtered to this rule's body so
+                    # the bucketed store key stays canonical (matches the
+                    # key the initial compile used).
+                    observed.update(self._relevant_known(plan.rule))
                     break
             if observed is not None:
                 plans[i] = self.store.rule_plan_adaptive(

@@ -176,11 +176,23 @@ class PlanStore:
         db: Optional[Database] = None,
         small_preds: FrozenSet[str] = frozenset(),
         factor: float = REPLAN_FACTOR,
+        known_sizes: Optional[Mapping[str, int]] = None,
     ) -> AdaptiveRulePlans:
         """An :class:`~repro.core.planning.adaptive.AdaptiveRulePlans`
-        over this store (the rule-list face: semi-naive delta variants)."""
+        over this store (the rule-list face: semi-naive delta variants).
+
+        ``known_sizes`` pins predicates whose cardinalities the caller
+        holds as facts — per-stratum planning passes the lower strata's
+        final sizes so they are compiled in up front and never trigger
+        a divergence re-plan.
+        """
         return AdaptiveRulePlans(
-            self, rules, db=db, small_preds=small_preds, factor=factor
+            self,
+            rules,
+            db=db,
+            small_preds=small_preds,
+            factor=factor,
+            known_sizes=known_sizes,
         )
 
     # ------------------------------------------------------------------

@@ -52,11 +52,20 @@ def seminaive_least_fixpoint(
     db: Database,
     keep_trace: bool = False,
     max_rounds: Optional[int] = None,
+    known_sizes: Optional[Dict[str, int]] = None,
 ) -> EvaluationResult:
     """Compute the least fixpoint by differential (semi-naive) iteration.
 
     Accepts the same class of programs as the naive engine: positive and
     semipositive (negation over EDB only).
+
+    ``known_sizes`` passes cardinalities the caller holds as facts —
+    the stratified engine supplies the final sizes of already-evaluated
+    lower strata.  The planner treats them as exact whether or not the
+    working database carries the relations (db-absent facts are baked
+    into the compile, db-present ones are already sized there), and the
+    adaptive wrapper never burns a divergence re-plan on re-discovering
+    a frozen relation's size.
 
     Raises
     ------
@@ -83,7 +92,10 @@ def seminaive_least_fixpoint(
     delta_preds = frozenset(_delta_name(p) for p in idb_preds)
     base_plans = PLAN_STORE.rule_plans(base_rules, db=db)
     adaptive_variants = PLAN_STORE.adaptive_rule_plans(
-        recursive_variants, db=db, small_preds=delta_preds
+        recursive_variants,
+        db=db,
+        small_preds=delta_preds,
+        known_sizes=known_sizes,
     )
 
     n = len(db.universe)

@@ -76,7 +76,14 @@ def stratified_semantics(
     :data:`~repro.core.planning.PLAN_STORE` under a (rules, working-db)
     key — repeated runs over the same input reuse the plans of every
     stratum — and the lower strata's frozen relations keep their cached
-    indexes across all upper-stratum rounds.
+    indexes across all upper-stratum rounds.  Lower strata are *planned
+    against*, not discovered: their final sizes travel to each upper
+    stratum as explicit ``known_sizes`` facts, making the contract
+    independent of the working database carrying the relations — the
+    planner sizes them exactly at compile time (from the db when
+    present, from the facts otherwise) and the adaptive wrapper exempts
+    them from divergence checks, so no re-plan ever fires to learn what
+    the engine already evaluated.
 
     Raises
     ------
@@ -86,13 +93,20 @@ def stratified_semantics(
     strata = stratify(program)
     working = db
     final: IDBMap = {}
+    known_sizes: Dict[str, int] = {}
     total_rounds = 0
     for layer in strata:
         rules = [r for r in program.rules if r.head.pred in layer]
         sub = Program(rules)
-        result = seminaive_least_fixpoint(sub, working, keep_trace=keep_trace)
+        result = seminaive_least_fixpoint(
+            sub,
+            working,
+            keep_trace=keep_trace,
+            known_sizes=known_sizes or None,
+        )
         for pred in layer:
             final[pred] = result.idb[pred]
+            known_sizes[pred] = len(result.idb[pred])
         working = working.with_relations(result.idb.values())
         total_rounds += result.rounds
     return StratifiedResult(

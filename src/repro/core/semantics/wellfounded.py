@@ -53,6 +53,9 @@ class WellFoundedResult:
     undefined: FrozenSet[GroundAtom]
     rounds: int
 
+    engine = "wellfounded"
+    """Engine tag, mirroring :class:`~repro.core.semantics.base.EvaluationResult`."""
+
     @property
     def is_total(self) -> bool:
         """True when no atom is undefined (two-valued well-founded model)."""

@@ -10,26 +10,43 @@ change.  This package turns the batch evaluator into a serving engine:
   non-recursive predicates;
 * :mod:`~repro.materialize.dred` — Delete/Rederive for recursive
   components under stratified negation;
+* :mod:`~repro.materialize.wellfounded_maint` — incremental alternating
+  fixpoint: the three-valued well-founded model maintained by patching
+  the ground program and running a ground-level DRed inside every
+  ``A``-application layer, which opens live views to the
+  *non-stratifiable* programs (win–move, odd cycles) the paper's
+  fixpoint pathology section is about;
 * :class:`~repro.materialize.view.MaterializedView` — the façade:
   ``view.apply(delta)`` returns a :class:`~repro.materialize.view.ChangeSet`
   and keeps ``view.result`` equal to a from-scratch recomputation
-  (property-tested in ``tests/test_materialize.py``).
+  (property-tested in ``tests/test_materialize.py`` and
+  ``tests/test_wellfounded_maintain.py``).  Batching and transactions:
+  ``view.apply_many(deltas)`` folds a batch through the
+  :meth:`~repro.materialize.delta.Delta.compose` monoid into one
+  maintenance pass, and ``view.rollback(n)`` unwinds the undo log of
+  composed effective inverses.
 
 Maintenance runs stratum-by-stratum over the dependency condensation —
 the algorithmic counterpart of the stratified fixed-point structure
 non-monotone operators force (deletion is where non-monotonicity bites:
-retracting an EDB tuple can *grow* a negated stratum).
+retracting an EDB tuple can *grow* a negated stratum).  The well-founded
+path swaps strata for alternation layers: anti-monotone as a whole,
+monotone per ``A``-application, so the same Delete/Rederive argument
+applies layer by layer.
 """
 
 from .counting import CountingState
 from .delta import Delta
 from .dred import RecursiveState
 from .view import ChangeSet, MaterializedView
+from .wellfounded_maint import AlternatingState, undef_name
 
 __all__ = [
+    "AlternatingState",
     "ChangeSet",
     "CountingState",
     "Delta",
     "MaterializedView",
     "RecursiveState",
+    "undef_name",
 ]

@@ -150,8 +150,18 @@ class Delta:
     def then(self, other: "Delta") -> "Delta":
         """Sequential composition: this delta, then ``other``.
 
-        ``db.apply_delta(a.then(b)) == db.apply_delta(a).apply_delta(b)``
-        for deltas effective against the respective databases.
+        ``db.apply_delta(a.then(b))`` yields the same relation contents
+        as ``db.apply_delta(a).apply_delta(b)`` for any database the
+        sequence is applicable to, and composition is associative — the
+        delta algebra the batching and undo APIs are built on
+        (property-tested in ``tests/test_delta_algebra.py``).  One
+        deliberate asymmetry: a tuple that churns *within* the
+        composition (inserted by ``a``, deleted by ``b``) cancels out
+        entirely, so a fresh universe value it would have introduced
+        never appears — whereas sequential application grows the
+        universe permanently (universes never shrink).  That is the
+        transaction reading: a value no tuple of the committed state
+        mentions was never in the database.
         """
         names = set(self._changes) | set(other._changes)
         inserts: Dict[str, FrozenSet[Tup]] = {}
@@ -163,11 +173,33 @@ class Delta:
             deletes[name] = (del1 - ins2) | del2
         return Delta(inserts=inserts, deletes=deletes)
 
-    def inverse(self) -> "Delta":
-        """The delta undoing this one (inserts and deletes swapped)."""
+    def compose(self, other: "Delta") -> "Delta":
+        """Alias of :meth:`then` — the delta monoid's operation.
+
+        ``Delta.empty()`` is its identity;
+        :meth:`MaterializedView.apply_many
+        <repro.materialize.view.MaterializedView.apply_many>` folds a
+        batch with it to run one maintenance pass for the whole batch.
+        """
+        return self.then(other)
+
+    def inverse(self, db=None) -> "Delta":
+        """The delta undoing this one (inserts and deletes swapped).
+
+        The plain inverse exactly undoes an *effective* delta (one whose
+        inserts were all absent and deletes all present).  Passing the
+        pre-change ``db`` normalizes first, so
+        ``db.apply_delta(d).apply_delta(d.inverse(db)) == db`` holds for
+        arbitrary ``d`` — a non-effective insert must not be deleted on
+        undo.  Universes never shrink on either application, so an
+        inverse restores *contents*; the undo log of
+        :class:`~repro.materialize.view.MaterializedView` is built from
+        these.
+        """
+        effective = self if db is None else self.normalize(db)
         return Delta(
-            inserts={n: d for n, (_, d) in self._changes.items()},
-            deletes={n: i for n, (i, _) in self._changes.items()},
+            inserts={n: d for n, (_, d) in effective._changes.items()},
+            deletes={n: i for n, (i, _) in effective._changes.items()},
         )
 
     def restrict(self, names: Iterable[str]) -> "Delta":

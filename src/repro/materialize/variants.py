@@ -1,111 +1,38 @@
 """Delta-rule construction shared by counting and DRed maintenance.
 
-Maintenance differentiates each rule with respect to one body-literal
-position at a time.  For a rule ``H :- L_0, ..., L_{k-1}`` and a
-position ``i``, the *delta variant* reads
-
-* the post-change value of every literal before ``i``,
-* the change set (of the appropriate sign) at ``i``, and
-* the pre-change value of every literal after ``i``,
-
-which is the telescoping decomposition of ``body(new) - body(old)``:
-summed over ``i``, the variants enumerate exactly the derivations gained
-(and, with the opposite sign, lost) by the change — each gained/lost
-derivation is counted once, at the first position where its literals
-differ between the two states.  Negated literals differentiate through
-the complement: ``!P`` *gains* instances where ``P`` lost tuples and
-loses instances where ``P`` gained them.
-
-All variants are ordinary rules over alias predicate names
-(``P@old``, ``P@new``, ``P@ins``, ``P@del`` — ``@`` cannot appear in a
-parsed program, so aliases can never collide with user predicates), so
-they compile through the ordinary planner and run on the batch executor;
-the change-set aliases are declared *small* so plans join through the
-delta first.
+The generic machinery — ``@old``/``@new``/``@ins``/``@del`` aliasing,
+the telescoping :func:`delta_variant` decomposition, and the
+:class:`PlanCache` memo — lives in :mod:`repro.core.deltavariants`
+since the grounder's incremental ground-program patching started using
+it too (``core`` cannot import this package without a cycle); it is
+re-exported here unchanged for the maintenance modules and external
+callers.  What remains native to this module is the *counting* face:
+total-binding pseudo-heads and head projectors, which only the
+derivation-counting maintenance needs.
 """
 
 from __future__ import annotations
 
 from operator import itemgetter
-from typing import Dict, FrozenSet, List
+from typing import Dict
 
-from ..core.literals import Atom, Comparison, Negation
-from ..core.planning import PLAN_STORE, RulePlan
+from ..core.deltavariants import (  # noqa: F401  (re-exported)
+    DEL,
+    INS,
+    NEW,
+    OLD,
+    PlanCache,
+    changeable_positions,
+    del_name,
+    delta_variant,
+    ins_name,
+    new_name,
+    old_name,
+)
+from ..core.literals import Atom
+from ..core.planning import RulePlan
 from ..core.rules import Rule
 from ..core.terms import Variable
-
-OLD = "@old"
-NEW = "@new"
-INS = "@ins"
-DEL = "@del"
-
-
-def old_name(pred: str) -> str:
-    """Alias of ``pred``'s pre-change value."""
-    return pred + OLD
-
-
-def new_name(pred: str) -> str:
-    """Alias of ``pred``'s post-change value."""
-    return pred + NEW
-
-
-def ins_name(pred: str) -> str:
-    """Alias of ``pred``'s effective insertions."""
-    return pred + INS
-
-
-def del_name(pred: str) -> str:
-    """Alias of ``pred``'s effective deletions."""
-    return pred + DEL
-
-
-def _aliased(literal, suffix: str):
-    """The literal reading its predicate under an alias suffix."""
-    if isinstance(literal, Atom):
-        return Atom(literal.pred + suffix, literal.args)
-    if isinstance(literal, Negation):
-        return Negation(Atom(literal.atom.pred + suffix, literal.atom.args))
-    return literal  # comparisons carry no predicate
-
-
-def delta_variant(rule: Rule, position: int, gained: bool) -> Rule:
-    """The delta variant of ``rule`` differentiating ``position``.
-
-    ``gained=True`` builds the variant enumerating derivations the
-    change *adds* (position reads ``P@ins`` for a positive literal,
-    ``P@del`` — positively — for a negated one); ``gained=False`` the
-    derivations it *removes* (signs swapped).  Positions before
-    ``position`` read ``@new`` values, positions after read ``@old``.
-    """
-    body: List = []
-    for j, lit in enumerate(rule.body):
-        if isinstance(lit, Comparison):
-            body.append(lit)
-            continue
-        if j < position:
-            body.append(_aliased(lit, NEW))
-        elif j > position:
-            body.append(_aliased(lit, OLD))
-        else:
-            if isinstance(lit, Atom):
-                body.append(Atom(lit.pred + (INS if gained else DEL), lit.args))
-            else:
-                atom = lit.atom
-                body.append(Atom(atom.pred + (DEL if gained else INS), atom.args))
-    return Rule(rule.head, body)
-
-
-def changeable_positions(rule: Rule, changeable: FrozenSet[str]) -> List[int]:
-    """Body positions whose literal reads a predicate in ``changeable``."""
-    out = []
-    for i, lit in enumerate(rule.body):
-        if isinstance(lit, Atom) and lit.pred in changeable:
-            out.append(i)
-        elif isinstance(lit, Negation) and lit.atom.pred in changeable:
-            out.append(i)
-    return out
-
 
 # ----------------------------------------------------------------------
 # Counting needs total bindings: give the rule a pseudo-head over all
@@ -153,31 +80,3 @@ def head_projector(rule: Rule, plan: RulePlan):
         )
 
     return project
-
-
-class PlanCache:
-    """A view-local memo of compiled maintenance plans.
-
-    Compilation still routes through the shared
-    :data:`~repro.core.planning.PLAN_STORE` (so identical variants are
-    shared across views and show up in its stats), but the view keeps
-    its own references: maintenance plans must survive LRU eviction and
-    the ``invalidate(db=...)`` calls triggered by the very deltas the
-    view applies.  Variant plans are compiled without a database
-    (aliases carry no statistics) so their keys — and hence this memo —
-    stay valid across updates.
-    """
-
-    __slots__ = ("small", "_plans")
-
-    def __init__(self, small: FrozenSet[str]) -> None:
-        self.small = small
-        self._plans: Dict[Rule, RulePlan] = {}
-
-    def plan(self, rule: Rule) -> RulePlan:
-        plan = self._plans.get(rule)
-        if plan is None:
-            plan = self._plans[rule] = PLAN_STORE.rule_plan(
-                rule, db=None, small_preds=self.small
-            )
-        return plan

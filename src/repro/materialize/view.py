@@ -39,25 +39,29 @@ API, still producing a changeset):
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple
+from dataclasses import replace
+from typing import Dict, FrozenSet, Iterable, List, Tuple, Union
 
 from ..analysis.dependency import DependencyGraph
+from ..core.grounding import GroundAtom
 from ..core.operator import as_interpretation
 from ..core.program import Program
 from ..core.semantics.base import EvaluationResult, is_semipositive
 from ..core.semantics.incremental import incremental_inflationary_semantics
 from ..core.semantics.inflationary import inflationary_semantics
 from ..core.semantics.stratified import StratifiedResult, stratified_semantics
+from ..core.semantics.wellfounded import WellFoundedResult
 from ..db.database import Database
 from ..db.relation import Relation
 from .counting import CountingState
 from .delta import Delta, Tup
 from .dred import DELETE_FRONTIER, INSERT_FRONTIER, RecursiveState
 from .variants import PlanCache, del_name, ins_name, new_name, old_name
+from .wellfounded_maint import AlternatingState, undef_name
 
 ChangePair = Tuple[FrozenSet[Tup], FrozenSet[Tup]]
 
-SEMANTICS = ("stratified", "inflationary")
+SEMANTICS = ("stratified", "inflationary", "wellfounded")
 
 
 class ChangeSet:
@@ -151,12 +155,33 @@ class MaterializedView:
     semantics:
         ``"stratified"`` (raises
         :class:`~repro.core.semantics.stratified.NotStratifiableError`
-        for programs with recursion through negation) or
+        for programs with recursion through negation),
         ``"inflationary"`` (total; maintained incrementally when the
-        program is semipositive, recomputed per delta otherwise).
+        program is semipositive, recomputed per delta otherwise), or
+        ``"wellfounded"`` (accepts *every* DATALOG¬ program — the
+        non-stratifiable workload class included; ``result`` is the
+        three-valued
+        :class:`~repro.core.semantics.wellfounded.WellFoundedResult`,
+        maintained by running DRed inside the alternating fixpoint —
+        see :mod:`repro.materialize.wellfounded_maint`).
+    undo_limit:
+        How many applied updates the undo log retains for
+        :meth:`rollback` (oldest entries are dropped beyond it, so a
+        long-lived serving view's memory stays bounded under endless
+        update streams).  ``None`` retains everything.
     """
 
-    def __init__(self, program: Program, db: Database, semantics: str = "stratified") -> None:
+    UNDO_LIMIT = 1024
+    """Default undo-log depth: plenty for interactive sessions, bounded
+    for serving streams."""
+
+    def __init__(
+        self,
+        program: Program,
+        db: Database,
+        semantics: str = "stratified",
+        undo_limit: "int | None" = UNDO_LIMIT,
+    ) -> None:
         if semantics not in SEMANTICS:
             raise ValueError(
                 "unknown semantics %r; expected one of %s" % (semantics, SEMANTICS)
@@ -165,15 +190,24 @@ class MaterializedView:
         self.semantics = semantics
         self._db = db
         self._pending: Dict[str, ChangePair] = {}
+        self._undo: List[Delta] = []
+        self._undo_limit = undo_limit
+        self._wf: AlternatingState = None
         if semantics == "stratified":
             self._maintainable = True
-            self._result: EvaluationResult = stratified_semantics(program, db)
+            self._result: Union[EvaluationResult, WellFoundedResult] = (
+                stratified_semantics(program, db)
+            )
+        elif semantics == "wellfounded":
+            self._maintainable = True
+            self._wf = AlternatingState(program, db)
+            self._result = self._wf_result(db)
         else:
             self._maintainable = is_semipositive(program)
             self._result = inflationary_semantics(program, db)
         self.applied = 0
         self.recomputes = 0
-        if self._maintainable:
+        if self._maintainable and semantics != "wellfounded":
             self._build_maintenance()
 
     # ------------------------------------------------------------------
@@ -186,8 +220,13 @@ class MaterializedView:
         return self._db
 
     @property
-    def result(self) -> EvaluationResult:
+    def result(self) -> Union[EvaluationResult, WellFoundedResult]:
         """The maintained evaluation result over the current database.
+
+        For ``wellfounded`` views this is the three-valued
+        :class:`~repro.core.semantics.wellfounded.WellFoundedResult`
+        (``true``/``undefined`` atom sets); the two-valued semantics
+        return an :class:`~repro.core.semantics.base.EvaluationResult`.
 
         Head-only predicates — the top of the dependency order, often
         the largest relations — are materialised lazily here: ``apply``
@@ -204,8 +243,25 @@ class MaterializedView:
         return self._result
 
     def relation(self, pred: str) -> Relation:
-        """The maintained value of an IDB predicate."""
+        """The maintained value of an IDB predicate.
+
+        For ``wellfounded`` views this is the *true* partition;
+        ``result.undefined_idb()`` exposes the undefined one.
+        """
+        if self.semantics == "wellfounded":
+            return self.result.true_idb()[pred]
         return self.result.idb[pred]
+
+    @property
+    def undo_depth(self) -> int:
+        """How many applied updates :meth:`rollback` can still undo.
+
+        The undo log records *effective* updates only: an apply whose
+        delta normalized to nothing changed no state, pushed no entry,
+        and is not a rollback step.  Callers pairing applies with
+        rollbacks should count this property, not their ``apply`` calls.
+        """
+        return len(self._undo)
 
     def __repr__(self) -> str:
         return "MaterializedView(%s, %d updates, %d recomputes, %r)" % (
@@ -285,18 +341,91 @@ class MaterializedView:
 
         The delta may only touch the program's EDB relations; tuple
         arities are validated against the database schema before any
-        state is modified.
+        state is modified.  The effective inverse is pushed onto the
+        undo log (see :meth:`rollback`); a no-op delta (nothing
+        effective against the current contents) changes nothing and
+        pushes nothing.
         """
+        return self._apply(delta, record_undo=True)
+
+    def apply_many(self, deltas: Iterable[Delta]) -> ChangeSet:
+        """Apply a batch of deltas in one maintenance pass.
+
+        The deltas are folded with :meth:`Delta.compose
+        <repro.materialize.delta.Delta.compose>` — sequentially
+        equivalent by the composition law — so maintenance runs *once*
+        for the whole batch instead of once per delta, and tuples that
+        churn within the batch (inserted then deleted, or vice versa)
+        cost nothing.  The returned changeset is the batch's *net*
+        effect; the undo log gains a single entry — none when the batch
+        composes to a no-op — so ``rollback(1)`` undoes the whole batch
+        (the transaction reading).  That reading
+        extends to the universe: a fresh value mentioned only by tuples
+        that churn away inside the batch never enters the database —
+        sequential applies would have grown the universe permanently,
+        which under active-domain completion can even change unsafe
+        rules' answers.  Batches are the committed state's semantics.
+        """
+        composed = Delta.empty()
+        for delta in deltas:
+            composed = composed.compose(delta)
+        return self._apply(composed, record_undo=True)
+
+    def rollback(self, n: int = 1) -> ChangeSet:
+        """Undo the last ``n`` applied updates (deltas or batches).
+
+        The undo log stores the effective inverse of every *effective*
+        applied update (no-op applies record nothing — see
+        :attr:`undo_depth`); rolling back composes the last ``n`` in
+        reverse order and applies the result through the ordinary
+        maintenance path — one pass, however many updates unwind.
+        Rolled-back entries are consumed (no redo).  Universes never
+        shrink, so a rollback restores relation *contents*; it cannot
+        trigger the universe-growth recompute.
+        """
+        if n <= 0:
+            return ChangeSet()
+        if n > len(self._undo):
+            raise ValueError(
+                "cannot roll back %d updates; undo log holds %d"
+                % (n, len(self._undo))
+            )
+        composed = Delta.empty()
+        for inverse in reversed(self._undo[-n:]):
+            composed = composed.compose(inverse)
+        changeset = self._apply(composed, record_undo=False)
+        # Entries are consumed only once the rollback landed — same
+        # exception contract as _apply's own bookkeeping.
+        del self._undo[-n:]
+        return changeset
+
+    def _apply(self, delta: Delta, record_undo: bool) -> ChangeSet:
         self._validate(delta)
         effective = delta.normalize(self._db)
         if effective.is_empty():
             return ChangeSet()
-        self.applied += 1
         new_db = self._db.apply_delta(effective)
         growth = not (effective.values() <= self._db.universe)
-        if not self._maintainable or growth:
-            return self._recompute(new_db, effective)
-        return self._maintain(new_db, effective)
+        if self.semantics == "wellfounded":
+            if growth:
+                changeset = self._recompute_wellfounded(new_db, effective)
+            else:
+                changeset = self._maintain_wellfounded(new_db, effective)
+        elif not self._maintainable or growth:
+            changeset = self._recompute(new_db, effective)
+        else:
+            changeset = self._maintain(new_db, effective)
+        # Book-keeping only after maintenance landed: if maintenance
+        # raises, the view's db/result/undo log stay pre-update (the
+        # wellfounded path additionally rebuilds its in-place-mutated
+        # alternation state), so the log never records an update that
+        # did not happen.
+        self.applied += 1
+        if record_undo:
+            self._undo.append(effective.inverse())
+            if self._undo_limit is not None and len(self._undo) > self._undo_limit:
+                del self._undo[: len(self._undo) - self._undo_limit]
+        return changeset
 
     def _validate(self, delta: Delta) -> None:
         idb = self.program.idb_predicates
@@ -340,6 +469,86 @@ class MaterializedView:
         if self._maintainable:
             self._build_maintenance()  # counts and aliases over the new state
         return ChangeSet.from_changes(changes)
+
+    # -- the well-founded (three-valued) paths -------------------------
+
+    def _wf_result(self, db: Database) -> WellFoundedResult:
+        return WellFoundedResult(
+            program=self.program,
+            db=db,
+            true=frozenset(self._wf.true),
+            undefined=frozenset(self._wf.possible - self._wf.true),
+            rounds=self._wf.rounds,
+        )
+
+    def _wf_changes(
+        self, old: WellFoundedResult, new: WellFoundedResult, effective: Delta
+    ) -> ChangeSet:
+        """The EDB echo plus per-predicate true/undefined partition diffs.
+
+        True-partition changes are recorded under the predicate's own
+        name; undefined-partition changes under ``pred@undef`` (the
+        ``@`` marker keeps them out of any parseable predicate's way).
+        The false partition is the complement of the other two over an
+        unchanged atom space, so its changes are implied.
+        """
+        changes: Dict[str, ChangePair] = dict(effective.items())
+
+        def record(key_of, before: FrozenSet[GroundAtom], after: FrozenSet[GroundAtom]) -> None:
+            moved: Dict[str, Tuple[set, set]] = {}
+            for pred, values in after - before:
+                moved.setdefault(key_of(pred), (set(), set()))[0].add(values)
+            for pred, values in before - after:
+                moved.setdefault(key_of(pred), (set(), set()))[1].add(values)
+            for key, (ins, dels) in moved.items():
+                changes[key] = (frozenset(ins), frozenset(dels))
+
+        record(lambda p: p, old.true, new.true)
+        record(undef_name, old.undefined, new.undefined)
+        return ChangeSet.from_changes(changes)
+
+    def _ensure_wf(self) -> AlternatingState:
+        """The alternating state, rebuilt lazily after an invalidation.
+
+        ``_wf`` is set to ``None`` when an exception escaped mid-patch;
+        the rebuild happens here, on the next update, rather than inside
+        the exception handler — an interrupt must surface immediately,
+        and a rebuild that itself dies must not leave the half-patched
+        state behind (``None`` stays ``None`` until a rebuild finishes).
+        """
+        if self._wf is None:
+            self._wf = AlternatingState(self.program, self._db)
+        return self._wf
+
+    def _maintain_wellfounded(self, new_db: Database, effective: Delta) -> ChangeSet:
+        old = self._result
+        wf = self._ensure_wf()
+        try:
+            moved = wf.apply(new_db, dict(effective.items()))
+        except BaseException:
+            # The alternating state mutates in place (aliases, instance
+            # counts, layer sets); an exception mid-patch — even an
+            # interrupt — must not leave a half-patched state serving
+            # wrong models behind an unchanged view façade.  Invalidate
+            # it (lazy rebuild on next use) and let the error surface.
+            self._wf = None
+            raise
+        self._db = new_db
+        if not moved:
+            # No layer's value changed: reuse the partitions (O(1)) and
+            # echo only the EDB change — the serving path's common case.
+            self._result = replace(old, db=new_db)
+            return ChangeSet.from_changes(dict(effective.items()))
+        self._result = self._wf_result(new_db)
+        return self._wf_changes(old, self._result, effective)
+
+    def _recompute_wellfounded(self, new_db: Database, effective: Delta) -> ChangeSet:
+        self.recomputes += 1
+        old = self._result
+        self._wf = AlternatingState(self.program, new_db)
+        self._db = new_db
+        self._result = self._wf_result(new_db)
+        return self._wf_changes(old, self._result, effective)
 
     # -- the incremental path ------------------------------------------
 

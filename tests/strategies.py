@@ -175,6 +175,90 @@ def disconnected_programs(draw, allow_negation: bool = True):
 
 
 @st.composite
+def nonstratifiable_programs(draw, max_cycle: int = 3, max_extra_rules: int = 2):
+    """Programs with recursion through negation, around a negation cycle.
+
+    The core is a cycle of unary predicates ``W0 -> !W1 -> ... -> !W0``
+    of random length (hence random *parity* — odd cycles are where the
+    paper's fixpoint semantics loses all fixpoints, even cycles where it
+    loses uniqueness), guarded by an ``E`` step so the game is played on
+    the database graph: length 1 is exactly the win–move program.  On
+    top, random extra rules mix EDB and IDB negation: extra disjuncts
+    for the cycle predicates (win–move variants), a positive-recursion
+    side predicate ``T``, and a stratified observer ``U`` negating into
+    the cycle — so the well-founded undefined region both arises and
+    propagates.  No draw is stratifiable (the cycle guarantees it).
+    """
+    k = draw(st.integers(min_value=1, max_value=max_cycle))
+    preds = ["W%d" % i for i in range(k)]
+    x, y, z = _VARS
+    rules = [
+        Rule(
+            Atom(preds[i], (x,)),
+            [Atom(_EDB, (x, y)), Negation(Atom(preds[(i + 1) % k], (y,)))],
+        )
+        for i in range(k)
+    ]
+
+    extra_kinds = st.sampled_from(["variant", "observer", "positive"])
+    for _ in range(draw(st.integers(min_value=0, max_value=max_extra_rules))):
+        kind = draw(extra_kinds)
+        if kind == "variant":
+            # Another disjunct for a cycle predicate, mixing EDB negation.
+            head = Atom(draw(st.sampled_from(preds)), (x,))
+            body = [Atom(_EDB, (x, y))]
+            if draw(st.booleans()):
+                body.append(Negation(Atom(_EDB, (y, x))))
+            body.append(
+                draw(st.sampled_from([Atom(preds[0], (y,)), Negation(Atom(preds[k - 1], (y,)))]))
+            )
+            rules.append(Rule(head, body))
+        elif kind == "observer":
+            # A stratified layer on top: negates into the undefined region.
+            rules.append(
+                Rule(
+                    Atom("U", (x,)),
+                    [Atom(_EDB, (x, y)), Negation(Atom(preds[0], (x,)))],
+                )
+            )
+        else:
+            # Positive recursion alongside the negation cycle.
+            rules.append(Rule(Atom("T", (x,)), [Atom(_EDB, (y, x))]))
+            rules.append(
+                Rule(Atom("T", (x,)), [Atom(_EDB, (z, x)), Atom("T", (z,))])
+            )
+    return Program(rules, carrier=preds[0])
+
+
+@st.composite
+def databases_and_deltas(draw, max_deltas: int = 4, insert_only: bool = False,
+                         delete_only: bool = False, grow: bool = True):
+    """A small database plus a sequence of deltas over its E relation.
+
+    Delta values are drawn from the universe (plus, when ``grow`` is
+    left on, rarely a fresh element — exercising the universe-growth
+    recompute fallback of every view semantics).  Insert-only sequences
+    keep the fresh element (inserts are exactly what can grow the
+    universe); delete-only ones drop it, since deleting an unseen value
+    is never effective.
+    """
+    from repro.materialize import Delta
+
+    db = draw(small_databases())
+    universe = sorted(db.universe)
+    fresh = max(universe) + 1
+    pool = universe if (delete_only or not grow) else universe + [fresh]
+    pairs = st.tuples(st.sampled_from(pool), st.sampled_from(pool))
+    deltas = []
+    for _ in range(draw(st.integers(min_value=1, max_value=max_deltas))):
+        ins = [] if delete_only else draw(st.lists(pairs, max_size=3))
+        dels = [] if insert_only else draw(st.lists(pairs, max_size=3))
+        dels = [t for t in dels if t not in set(ins)]
+        deltas.append(Delta(inserts={"E": ins}, deletes={"E": dels}))
+    return db, deltas
+
+
+@st.composite
 def positive_programs(draw, max_rules: int = 4):
     """A random negation-free program (paper's DATALOG class)."""
     rules = []

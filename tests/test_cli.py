@@ -132,3 +132,94 @@ def test_update_rejects_unknown_delta_relation(workspace, tmp_path):
     (deltadir / "Nope.insert.csv").write_text("1\n")
     with pytest.raises(ValueError):
         main(["update", str(program), "--db", str(dbdir), "--delta", str(deltadir)])
+
+
+def test_update_wellfounded_reports_undefined_partition(workspace, tmp_path, capsys):
+    """pi_1 on L_4 plus the closing edge (4, 1): an even cycle — every
+    position becomes undefined, reported under T@undef."""
+    program, dbdir = workspace
+    deltadir = tmp_path / "delta"
+    deltadir.mkdir()
+    (deltadir / "E.insert.csv").write_text("4,1\n")
+    assert (
+        main(
+            [
+                "update",
+                str(program),
+                "--db",
+                str(dbdir),
+                "--delta",
+                str(deltadir),
+                "--semantics",
+                "wellfounded",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "engine=wellfounded" in out
+    assert "T@undef: +4 -0" in out
+    assert "T: +0 -2" in out  # the decided atoms {2, 4} drown in the cycle
+
+
+def test_update_batch_composes_deltas(workspace, tmp_path, capsys):
+    """Two --delta directories under --batch make one transaction whose
+    churned tuple cancels out."""
+    program, dbdir = workspace
+    d1 = tmp_path / "d1"
+    d1.mkdir()
+    (d1 / "E.insert.csv").write_text("4,1\n")
+    d2 = tmp_path / "d2"
+    d2.mkdir()
+    (d2 / "E.delete.csv").write_text("4,1\n")
+    assert (
+        main(
+            [
+                "update",
+                str(program),
+                "--db",
+                str(dbdir),
+                "--delta",
+                str(d1),
+                "--delta",
+                str(d2),
+                "--batch",
+                "--semantics",
+                "wellfounded",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "batch of 2 delta(s)" in out
+    assert "(no change)" in out
+
+
+def test_update_sequential_deltas_print_each_changeset(workspace, tmp_path, capsys):
+    program, dbdir = workspace
+    d1 = tmp_path / "d1"
+    d1.mkdir()
+    (d1 / "E.insert.csv").write_text("4,1\n")
+    d2 = tmp_path / "d2"
+    d2.mkdir()
+    (d2 / "E.delete.csv").write_text("4,1\n")
+    assert (
+        main(
+            [
+                "update",
+                str(program),
+                "--db",
+                str(dbdir),
+                "--delta",
+                str(d1),
+                "--delta",
+                str(d2),
+                "--semantics",
+                "inflationary",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert out.count("engine=") == 2
+    assert "E: +1 -0" in out and "E: +0 -1" in out

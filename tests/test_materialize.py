@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import pytest
 from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
 
 from repro import Database, Relation, parse_program
 from repro.core.semantics import (
@@ -31,7 +30,7 @@ from repro.queries import (
     tc_complement_stratified,
     win_move_program,
 )
-from strategies import random_programs, small_databases
+from strategies import databases_and_deltas, random_programs
 
 SLOW = settings(
     max_examples=40,
@@ -279,28 +278,6 @@ class TestDirectedMaintenance:
 # ----------------------------------------------------------------------
 # The Hypothesis property: random programs × random delta sequences
 # ----------------------------------------------------------------------
-
-
-@st.composite
-def databases_and_deltas(draw, max_deltas: int = 4, insert_only: bool = False,
-                         delete_only: bool = False):
-    """A small database plus a sequence of deltas over its E relation.
-
-    Delta values are drawn from the universe (plus, rarely, a fresh
-    element — exercising the universe-growth fallback).
-    """
-    db = draw(small_databases())
-    universe = sorted(db.universe)
-    fresh = max(universe) + 1
-    pool = universe if (insert_only or delete_only) else universe + [fresh]
-    pairs = st.tuples(st.sampled_from(pool), st.sampled_from(pool))
-    deltas = []
-    for _ in range(draw(st.integers(min_value=1, max_value=max_deltas))):
-        ins = [] if delete_only else draw(st.lists(pairs, max_size=3))
-        dels = [] if insert_only else draw(st.lists(pairs, max_size=3))
-        dels = [t for t in dels if t not in set(ins)]
-        deltas.append(Delta(inserts={"E": ins}, deletes={"E": dels}))
-    return db, deltas
 
 
 def _property_body(program, db, deltas, semantics):

@@ -5,13 +5,15 @@ from hypothesis import given
 
 from repro import Database, Relation, parse_program
 from repro.core.semantics import (
+    is_stratifiable,
     stratified_semantics,
     well_founded_semantics,
 )
+from repro.core.semantics.wellfounded import _least_model_of_reduct
 from repro.graphs import generators as gg, graph_to_database
 from repro.queries import pi1, tc_complement_stratified, win_move_program
 
-from strategies import random_programs, small_databases
+from strategies import nonstratifiable_programs, random_programs, small_databases
 
 
 def test_pi1_on_path_is_total(pi1_program, path4_db):
@@ -72,6 +74,62 @@ def test_total_wfm_matches_stratified_on_stratified_programs(path4_db):
 def test_rounds_reported(pi1_program, path4_db):
     result = well_founded_semantics(pi1_program, path4_db)
     assert result.rounds >= 1
+
+
+@given(nonstratifiable_programs(), small_databases())
+def test_wfm_stability_equations(program, db):
+    """``A(true) = possible`` and ``A(possible) = true`` — Van Gelder's
+    characterization of the well-founded partial model as the extreme
+    oscillating pair of the stability operator, checked on random
+    *non-stratifiable* programs (negation cycles of both parities,
+    win–move variants, mixed EDB/IDB negation) where no simpler engine
+    could serve as the oracle."""
+    from repro.core.grounding import ground_program
+
+    gp = ground_program(program, db)
+    wf = well_founded_semantics(program, db, ground=gp)
+    true = set(wf.true)
+    possible = true | set(wf.undefined)
+    assert true.isdisjoint(wf.undefined)
+    assert _least_model_of_reduct(gp, true) == possible
+    assert _least_model_of_reduct(gp, possible) == true
+    # Nothing outside the derivable atoms is ever true or undefined.
+    assert possible <= set(gp.derivable)
+
+
+@given(nonstratifiable_programs(), small_databases())
+def test_wfm_true_atoms_survive_any_stable_reference(program, db):
+    """True atoms are derivable however the undefined region resolves:
+    ``A`` is anti-monotone, so every reference between ``true`` and
+    ``possible`` rederives at least ``true``."""
+    from repro.core.grounding import ground_program
+
+    gp = ground_program(program, db)
+    wf = well_founded_semantics(program, db, ground=gp)
+    true = set(wf.true)
+    possible = true | set(wf.undefined)
+    # The two extreme references; anti-monotonicity gives containment
+    # for anything in between.
+    assert true <= _least_model_of_reduct(gp, possible)
+    assert _least_model_of_reduct(gp, possible) <= _least_model_of_reduct(gp, true)
+
+
+@given(random_programs(), small_databases())
+def test_wfm_total_and_equals_stratified_when_stratifiable(program, db):
+    """The classical theorem, now fuzzed: a stratifiable program's WFM
+    is total and coincides with the perfect (stratified) model."""
+    if not is_stratifiable(program):
+        return
+    wf = well_founded_semantics(program, db)
+    strat = stratified_semantics(program, db)
+    assert wf.is_total
+    assert wf.true_idb() == strat.idb
+
+
+@given(nonstratifiable_programs())
+def test_strategy_is_never_stratifiable(program):
+    """The strategy's contract: every draw has recursion through negation."""
+    assert not is_stratifiable(program)
 
 
 @given(random_programs(), small_databases())

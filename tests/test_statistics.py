@@ -244,3 +244,106 @@ def test_adaptive_engines_match_legacy_on_misplanned_workload():
     expected = legacy_lfp()
     assert idb_equal(naive_least_fixpoint(program, db).idb, expected)
     assert idb_equal(seminaive_least_fixpoint(program, db).idb, expected)
+
+
+# ----------------------------------------------------------------------
+# Per-stratum planning: known lower-strata sizes are facts, not
+# discoveries — compiled in up front, exempt from divergence re-plans
+# ----------------------------------------------------------------------
+
+
+def test_known_sizes_pin_predicates_against_divergence():
+    """A predicate passed as ``known_sizes`` is compiled in from the
+    start and never triggers a re-plan, however its observed size moves;
+    an unknown predicate in the same rule still does (the control)."""
+    store = PlanStore()
+    rule = parse_program("Q(X, Y) :- L(X, Z), M(Z, Y).", carrier="Q").rules[0]
+    db = Database(set(range(64)), [], check=False)  # neither pred in the db
+
+    pinned = store.adaptive_rule_plans([rule], db=db, known_sizes={"L": 40, "M": 48})
+    assert dict(pinned.plans[0].est_cards) == {"L": 40.0, "M": 48.0}
+    drifted = Database(
+        set(range(64)),
+        [
+            # Both observed at 63: within the divergence factor of the
+            # pinned 40/48 estimates, far above the replan floor.
+            Relation("L", 2, [(i, i + 1) for i in range(63)]),
+            Relation("M", 2, [(0, i) for i in range(63)]),
+        ],
+        check=False,
+    )
+    pinned.refresh(drifted)
+    assert pinned.replans == 0  # both preds are facts: nothing is stale
+
+    # Without the pin, M compiles to the "unknown, assume large"
+    # placeholder, and *any* meaningful observation diverges from that.
+    control = store.adaptive_rule_plans([rule], db=db, known_sizes={"L": 40})
+    assert dict(control.plans[0].est_cards)["M"] == float("inf")
+    control.refresh(drifted)
+    assert control.replans == 1
+
+
+def test_stratified_plans_upper_strata_against_known_lower_sizes(monkeypatch):
+    """E9 regression (ISSUE 5): evaluating the stratified witnesses, no
+    re-plan ever fires on a second-stratum rule — lower strata enter the
+    planner as ``known_sizes`` facts instead of being rediscovered via
+    adaptive divergence."""
+    from repro.core.planning.store import PlanStore as StoreCls
+    from repro.core.semantics import stratified_semantics, stratify
+    from repro.graphs import generators as gg
+    from repro.graphs.encode import graph_to_database
+    from repro.queries import distance_program, tc_complement_stratified
+
+    created = []
+    orig = StoreCls.adaptive_rule_plans
+
+    def spy(self, rules, **kwargs):
+        wrapper = orig(self, rules, **kwargs)
+        created.append(wrapper)
+        return wrapper
+
+    monkeypatch.setattr(StoreCls, "adaptive_rule_plans", spy)
+
+    recursive_upper = parse_program(
+        """
+        TC(X, Y) :- E(X, Y).
+        TC(X, Y) :- E(X, Z), TC(Z, Y).
+        V(X, Y) :- TC(X, Y), !TC(Y, X).
+        V(X, Y) :- V(X, Z), TC(Z, Y).
+        """,
+        carrier="V",
+    )
+    db = graph_to_database(gg.path(10))
+    for program in (distance_program(), tc_complement_stratified(), recursive_upper):
+        created.clear()
+        strata = stratify(program)
+        lower = set(strata[0])
+        upper = set().union(*strata[1:])
+        stratified_semantics(program, db)
+        saw_upper = False
+        for wrapper in created:
+            heads = {plan.head_pred for plan in wrapper.plans}
+            if not heads or not (heads & upper):
+                continue
+            saw_upper = True
+            # The wrapper was handed every lower stratum's final size...
+            assert lower <= set(wrapper.known_sizes)
+            # ...and no divergence re-plan fired on the upper stratum.
+            assert wrapper.replans == 0
+        # distance/tc_complement have variant-free upper strata; the
+        # recursive_upper program is the non-vacuous case.
+        if program is recursive_upper:
+            assert saw_upper
+
+
+def test_seminaive_known_sizes_preserves_results():
+    """``known_sizes`` is ordering advice only — valuations are identical."""
+    program = parse_program(
+        "S(X, Y) :- E(X, Y).  S(X, Y) :- E(X, Z), S(Z, Y)."
+    )
+    db = Database(
+        {1, 2, 3, 4}, [Relation("E", 2, [(1, 2), (2, 3), (3, 4)])]
+    )
+    plain = seminaive_least_fixpoint(program, db)
+    advised = seminaive_least_fixpoint(program, db, known_sizes={"E": 3})
+    assert idb_equal(plain.idb, advised.idb)
