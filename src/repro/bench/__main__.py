@@ -6,9 +6,10 @@ tables as machine-readable data — the ``BENCH_*.json`` files at the repo
 root are committed snapshots of ``python -m repro.bench perf --json``.
 
 ``python -m repro.bench check [--baseline FILE] [--factor F]
-[--floor S] [ids...]`` re-runs the experiments (default: ``perf``) and
-fails when any shipped-path timing cell — evaluation *and*
-materialized-view update latency — regressed more than ``F``-fold
+[--floor S] [ids...]`` re-runs the experiments (default: ``perf`` and
+``serve``) and fails when any shipped-path timing cell — evaluation,
+materialized-view update latency *and* the view server's p95 request
+latency under load — regressed more than ``F``-fold
 against the committed baseline; CI runs it as the perf gate.  The
 baseline defaults to the **newest** ``BENCH_*.json`` in the working
 directory (natural sort, so ``BENCH_PR10`` outranks ``BENCH_PR9``), and
@@ -27,10 +28,13 @@ from pathlib import Path
 
 from .harness import all_experiments, experiment
 
-_TIMING_COLUMNS = frozenset({"compiled s", "batch s", "update s", "adaptive s"})
+_TIMING_COLUMNS = frozenset(
+    {"compiled s", "batch s", "update s", "adaptive s", "p95 s"}
+)
 """Shipped-path timing columns the regression gate compares: compiled
-plan execution, batch execution, materialized-view update latency, and
-adaptive re-planning + semi-join execution."""
+plan execution, batch execution, materialized-view update latency,
+adaptive re-planning + semi-join execution, and the view server's p95
+request latency under load."""
 
 
 def _natural_key(path: Path):
@@ -116,7 +120,7 @@ def run_check(argv) -> int:
     with open(baseline_path) as fh:
         baseline = json.load(fh)
 
-    results = _run_experiments(ids or ["perf"])
+    results = _run_experiments(ids or ["perf", "serve"])
     current = _as_json(results)
     if json_out is not None:
         with open(json_out, "w") as fh:

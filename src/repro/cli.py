@@ -7,6 +7,9 @@ Usage::
     python -m repro classify PROGRAM.dl
     python -m repro update PROGRAM.dl --db DIR --delta DIR [--delta DIR2 ...]
         [--semantics stratified|inflationary|wellfounded] [--batch]
+    python -m repro serve [PROGRAM.dl] [--db DIR] [--state DIR]
+        [--host H] [--port P] [--semantics S] [--tick-ms MS]
+        [--snapshot-every N]
 
 ``--db DIR`` points at a directory of headerless ``<relation>.csv`` files
 (one tuple per row); the schema is inferred from the program's EDB arities.
@@ -17,6 +20,13 @@ the changesets — every EDB and IDB tuple that moved; ``--batch`` folds
 all deltas into one transaction, ``--semantics wellfounded`` maintains
 the three-valued model of non-stratifiable programs (changes to the
 undefined partition print under ``pred@undef``).
+
+``serve`` runs the long-lived view server (:mod:`repro.server`): a JSON-
+lines TCP service where clients POST deltas, query maintained results and
+subscribe to changeset streams.  With ``--state DIR`` every committed
+batch is written ahead to a CSV delta log and the server restarts by
+snapshot + WAL replay — starting ``serve`` again on a populated state
+directory recovers without ``PROGRAM.dl``/``--db``.
 """
 
 from __future__ import annotations
@@ -124,6 +134,76 @@ def cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the live view server until interrupted (or told to shut down).
+
+    A fresh start needs ``PROGRAM.dl`` and ``--db`` to register the
+    initial view; a restart on a populated ``--state`` directory
+    recovers every view it holds by snapshot + WAL replay and ignores
+    neither — recovered views win, the program/db pair only registers
+    the named view when recovery did not already produce it.
+    """
+    import asyncio
+
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        return 0
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    from .server.net import TcpFrontend
+    from .server.service import ViewServer
+
+    service = ViewServer(
+        state_dir=args.state,
+        tick=args.tick_ms / 1000.0,
+        snapshot_every=args.snapshot_every,
+    )
+    recovered = await service.start()
+    for info in recovered:
+        print(
+            "recovered view %r at seq %d by snapshot + WAL replay (%s)"
+            % (info.name, info.seq, info.semantics)
+        )
+    if args.name not in service.views():
+        if args.program is None or args.db is None:
+            print(
+                "view %r is not in the state directory: a fresh start needs "
+                "PROGRAM.dl and --db" % args.name
+            )
+            return 2
+        program = _load_program(args.program, carrier=args.carrier)
+        db = _load_database(args.db, program)
+        info = service.register(
+            args.name,
+            Path(args.program).read_text(),
+            db,
+            semantics=args.semantics,
+            carrier=args.carrier,
+        )
+        print(
+            "registered view %r (%s; EDB %s; IDB %s)%s"
+            % (
+                info.name,
+                info.semantics,
+                ", ".join(sorted(info.edb)),
+                ", ".join(sorted(info.idb)),
+                "" if info.durable else " [in-memory: no --state given]",
+            )
+        )
+    frontend = TcpFrontend(service)
+    host, port = await frontend.start(args.host, args.port)
+    print("serving on %s:%d (newline-delimited JSON; op: register/delta/"
+          "query/subscribe/info/stats/shutdown)" % (host, port))
+    sys.stdout.flush()
+    try:
+        await frontend.wait_stopped()
+    finally:
+        await frontend.close()
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     """Fixpoint analysis: existence, uniqueness, count, least fixpoint."""
     program = _load_program(args.program, carrier=args.carrier)
@@ -213,6 +293,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write the post-delta database here"
     )
     update.set_defaults(fn=cmd_update)
+
+    serve = sub.add_parser(
+        "serve", help="run the live view server (JSON-lines TCP)"
+    )
+    serve.add_argument(
+        "program",
+        nargs="?",
+        default=None,
+        help="path to a .dl program file (optional when --state recovers)",
+    )
+    serve.add_argument(
+        "--db", default=None, help="directory of <name>.csv files (fresh start)"
+    )
+    serve.add_argument(
+        "--state",
+        default=None,
+        help="state directory for the write-ahead delta log + snapshots; "
+        "restarting on it recovers by replay",
+    )
+    serve.add_argument("--name", default="default", help="view name")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7464)
+    serve.add_argument(
+        "--semantics",
+        choices=["stratified", "inflationary", "wellfounded"],
+        default="stratified",
+    )
+    serve.add_argument("--carrier", default=None, help="goal predicate")
+    serve.add_argument(
+        "--tick-ms",
+        type=float,
+        default=10.0,
+        help="writer linger per batch: concurrent deltas arriving within "
+        "one tick share a single maintenance pass",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=64,
+        help="cut a snapshot (pruning the WAL behind it) every N commits",
+    )
+    serve.set_defaults(fn=cmd_serve)
 
     analyze = sub.add_parser("analyze", help="fixpoint existence/uniqueness/least")
     analyze.add_argument("program")

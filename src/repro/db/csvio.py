@@ -1,14 +1,36 @@
-"""CSV import/export for relations and databases.
+"""CSV import/export for relations, databases and deltas.
 
-The examples load edge lists and CNF encodings from small CSV files; this
-module keeps that I/O out of the core.  Values are read back as ``int`` when
-they parse as integers, otherwise as strings, which matches how the examples
-and tests construct universes.
+The examples load edge lists and CNF encodings from small CSV files, and
+the server's write-ahead delta log (:mod:`repro.server.wal`) persists
+every committed update in this format — so ``dump → load`` must be the
+**identity** on every value the engines can produce, or a restart by log
+replay would converge to a different database than the one that crashed.
+
+Value convention (the whole of it):
+
+* Persistable values are ``int`` and ``str`` — the only value types the
+  CSV pipeline can ever have introduced.  Anything else (including
+  ``bool``, a subclass of ``int`` whose round trip would corrupt) is
+  rejected loudly at dump time.
+* A field is read back as ``int`` exactly when it is a **canonical**
+  integer literal — ``0`` or ``-?[1-9][0-9]*``, i.e. ``repr(i)`` for
+  some ``int`` — and as ``str`` otherwise.  Canonical integer *strings*
+  (``"7"``) are therefore not representable: they dump like the int and
+  load as the int.  Int-lookalikes that Python's ``int()`` would also
+  accept — ``"01"``, ``"1_0"``, ``" 7"``, ``"+5"``, ``"-0"`` — are NOT
+  canonical and survive as the strings they are (a bare ``int()`` here
+  used to silently turn all of them into integers).
+* Strings are always quoted on dump (``QUOTE_NONNUMERIC``).  Quoting is
+  invisible to the reader (typing is decided by the canonical-integer
+  rule above, never by quotes); what it buys is the one-column empty
+  string: an unquoted ``("",)`` row would be a blank line, which
+  ``csv.reader`` drops.
 """
 
 from __future__ import annotations
 
 import csv
+import re
 from pathlib import Path
 from typing import Any, Iterable, Union
 
@@ -17,12 +39,33 @@ from .relation import Relation
 
 PathLike = Union[str, Path]
 
+_CANONICAL_INT = re.compile(r"0|-?[1-9][0-9]*")
+"""Exactly ``repr(i)`` for ``int`` values: no leading zeros, no ``+``
+sign, no whitespace, no underscores, no ``-0``."""
+
 
 def _coerce(value: str) -> Any:
-    try:
+    """A loaded field: ``int`` for canonical integer literals, else ``str``.
+
+    Deliberately *not* a bare ``int(value)``: Python's parser accepts
+    ``"01"``, ``"1_0"``, ``" 7"``, ``"+5"`` — values a dump of the
+    resulting int no longer spells the same way, so a dump/load round
+    trip would corrupt them (the replay-poisoning bug this fixed).
+    """
+    if _CANONICAL_INT.fullmatch(value):
         return int(value)
-    except ValueError:
-        return value
+    return value
+
+
+def _persistable(value: Any, context: str) -> Any:
+    """Reject values the CSV value convention cannot round-trip."""
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise ValueError(
+            "value %r of %s is %s; the CSV format persists int and str "
+            "values only (see the repro.db.csvio value convention)"
+            % (value, context, type(value).__name__)
+        )
+    return value
 
 
 _EMPTY_TUPLE_MARKER = "()"
@@ -57,22 +100,27 @@ def load_relation(path: PathLike, name: str, arity: int) -> Relation:
     return Relation(name, arity, tuples)
 
 
-def _write_rows(path: PathLike, rows) -> None:
+def _write_rows(path: PathLike, rows, context: str = "relation") -> None:
     """Write tuples as headerless CSV, rows sorted for determinism.
 
     The zero-ary tuple is written as the explicit marker row
     (:data:`_EMPTY_TUPLE_MARKER`) rather than a blank line, so a
-    zero-ary relation's truth value survives the round trip.
+    zero-ary relation's truth value survives the round trip.  Strings
+    are quoted (``QUOTE_NONNUMERIC``) so a one-column empty string is a
+    ``""`` line instead of a blank one the reader would skip.
     """
     with open(path, "w", newline="") as f:
-        writer = csv.writer(f)
+        writer = csv.writer(f, quoting=csv.QUOTE_NONNUMERIC)
         for t in sorted(rows, key=repr):
-            writer.writerow(t if t else (_EMPTY_TUPLE_MARKER,))
+            if t:
+                writer.writerow(_persistable(v, context) for v in t)
+            else:
+                writer.writerow((_EMPTY_TUPLE_MARKER,))
 
 
 def dump_relation(rel: Relation, path: PathLike) -> None:
     """Write a relation as headerless CSV, rows sorted for determinism."""
-    _write_rows(path, rel)
+    _write_rows(path, rel, context="relation %s" % rel.name)
 
 
 def load_database(directory: PathLike, schema: dict) -> Database:
@@ -114,13 +162,21 @@ def load_delta(directory: PathLike, schema: dict) -> "Delta":
     ``<relation>.delete.csv`` files (either may be absent — an absent
     file is an empty change).  ``schema`` maps relation names to
     arities, normally the program's EDB schema.  The directory is
-    treated as dedicated to this one delta: a file matching neither
-    suffix, a file naming a non-schema relation, and a row of the wrong
+    treated as dedicated to this one delta: a missing or non-directory
+    path, a file matching neither suffix, a file with an empty relation
+    name, a file naming a non-schema relation, and a row of the wrong
     arity all fail loudly instead of silently feeding the view nothing.
     """
     from ..materialize.delta import Delta
 
     directory = Path(directory)
+    if not directory.is_dir():
+        kind = "is not a directory" if directory.exists() else "does not exist"
+        raise ValueError(
+            "delta path %s %s; expected a directory of "
+            "<relation>.insert.csv / <relation>.delete.csv files"
+            % (directory, kind)
+        )
     problems = []
     for path in sorted(directory.iterdir()):
         if path.name.endswith(_INSERT_SUFFIX):
@@ -133,7 +189,12 @@ def load_delta(directory: PathLike, schema: dict) -> "Delta":
             # E.Insert.csv) that would otherwise be skipped silently.
             problems.append("unrecognised file %s" % path.name)
             continue
-        if name not in schema:
+        if not name:
+            problems.append(
+                "file %s has an empty relation name (nothing before "
+                "the %s suffix)" % (path.name, path.name)
+            )
+        elif name not in schema:
             problems.append("relation %r is outside the schema" % name)
     if problems:
         raise ValueError(
@@ -164,4 +225,8 @@ def dump_delta(delta, directory: PathLike) -> None:
     for name, (inserts, deletes) in delta.items():
         for suffix, tuples in ((_INSERT_SUFFIX, inserts), (_DELETE_SUFFIX, deletes)):
             if tuples:
-                _write_rows(directory / (name + suffix), tuples)
+                _write_rows(
+                    directory / (name + suffix),
+                    tuples,
+                    context="delta side %s" % (name + suffix),
+                )

@@ -108,6 +108,17 @@ class ChangeSet:
             return NotImplemented
         return self.inserted == other.inserted and self.deleted == other.deleted
 
+    def __hash__(self) -> int:
+        # Content hash consistent with __eq__ (defining __eq__ alone had
+        # silently made instances unhashable); the server's subscription
+        # fan-out dedupes changesets by it.
+        return hash(
+            (
+                frozenset(self.inserted.items()),
+                frozenset(self.deleted.items()),
+            )
+        )
+
     def __repr__(self) -> str:
         parts = ", ".join(
             "%s:+%d/-%d"
@@ -426,6 +437,16 @@ class MaterializedView:
             if self._undo_limit is not None and len(self._undo) > self._undo_limit:
                 del self._undo[: len(self._undo) - self._undo_limit]
         return changeset
+
+    def validate_delta(self, delta: Delta) -> None:
+        """Check a delta against the view's schema without applying it.
+
+        Raises exactly what :meth:`apply` would raise before touching any
+        state — the server uses this to reject a bad delta at submit
+        time, before it is folded into a batch whose other writers would
+        otherwise share the failure.
+        """
+        self._validate(delta)
 
     def _validate(self, delta: Delta) -> None:
         idb = self.program.idb_predicates

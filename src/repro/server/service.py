@@ -1,0 +1,490 @@
+"""The asyncio view service: registered programs, a writer queue, readers.
+
+:class:`ViewServer` hosts named :class:`~repro.materialize.view.MaterializedView`\\ s
+and gives each one the serving discipline the ROADMAP asks for:
+
+* **One writer, batched.**  Every view has a single writer task draining
+  an :class:`asyncio.Queue`.  Concurrent :meth:`submit` calls enqueue;
+  per tick the writer folds everything queued through
+  :meth:`Delta.compose <repro.materialize.delta.Delta.compose>` and runs
+  **one** maintenance pass for the whole batch (the
+  :meth:`~repro.materialize.view.MaterializedView.apply_many`
+  transaction semantics: tuples that churn within a tick cost nothing).
+  Every submitter of the batch is acknowledged with the commit sequence
+  number and the batch's net changeset.
+* **Snapshot-consistent reads, free.**  Databases and results are
+  immutable values; :meth:`pin` hands a reader the current
+  ``(seq, db, result)`` triple, which stays internally consistent no
+  matter how far the writer advances.  :meth:`query` is the one-shot
+  convenience form.
+* **Changesets are the wire payload.**  :meth:`subscribe` returns an
+  async iterator of ``(seq, changeset)`` events, fanned out to every
+  subscriber as batches commit (empty net changesets are not
+  published; the fan-out's recent-events window is deduplicated by the
+  changesets' content hash).
+* **Durability by replay.**  With a state directory, every committed
+  batch is appended to the view's :class:`~repro.server.wal.DeltaLog`
+  *before* it is acknowledged, and a snapshot is cut every
+  ``snapshot_every`` commits, so :meth:`ViewServer.start` restarts by
+  snapshot + WAL replay instead of from-scratch recompute.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..core.parser import parse_program
+from ..core.program import Program
+from ..core.validation import check_database
+from ..db.database import Database
+from ..db.relation import Relation
+from ..materialize.delta import Delta
+from ..materialize.view import SEMANTICS, ChangeSet, MaterializedView
+from .wal import DeltaLog
+
+_SHUTDOWN = object()
+
+_RECENT_WINDOW = 256
+"""How many committed changesets the per-view recent-events window keeps
+(the dedup set over their content hashes backs the ``stats`` counters)."""
+
+
+class UnknownViewError(KeyError):
+    """A request named a view this server does not host."""
+
+    def __init__(self, name: str, known) -> None:
+        super().__init__(
+            "no view named %r; registered views: %s"
+            % (name, sorted(known) or "(none)")
+        )
+
+
+@dataclass(frozen=True)
+class ViewInfo:
+    """What a client learns about a hosted view."""
+
+    name: str
+    semantics: str
+    carrier: Optional[str]
+    seq: int
+    edb: Dict[str, int]
+    idb: Dict[str, int]
+    durable: bool
+    recovered: bool
+
+
+@dataclass(frozen=True)
+class Pinned:
+    """A snapshot-consistent read handle: immutable values, safely held
+    across awaits while the writer advances the view."""
+
+    seq: int
+    db: Database
+    result: Any
+
+
+class Subscription:
+    """An async iterator of committed ``(seq, ChangeSet)`` events."""
+
+    def __init__(self, view: str) -> None:
+        self.view = view
+        self._queue: "asyncio.Queue" = asyncio.Queue()
+        self._closed = False
+
+    def _publish(self, seq: int, changeset: ChangeSet) -> None:
+        if not self._closed:
+            self._queue.put_nowait((seq, changeset))
+
+    def close(self) -> None:
+        """End the stream (the iterator finishes after drained events)."""
+        if not self._closed:
+            self._closed = True
+            self._queue.put_nowait(None)
+
+    def __aiter__(self) -> "Subscription":
+        return self
+
+    async def __anext__(self) -> Tuple[int, ChangeSet]:
+        event = await self._queue.get()
+        if event is None:
+            raise StopAsyncIteration
+        return event
+
+
+class _ViewState:
+    """One hosted view: the materialized view plus its serving shell."""
+
+    __slots__ = (
+        "name",
+        "program",
+        "program_text",
+        "carrier",
+        "view",
+        "log",
+        "seq",
+        "queue",
+        "task",
+        "subscribers",
+        "recent",
+        "recovered",
+        "submitted",
+        "commits",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        program: Program,
+        program_text: str,
+        carrier: Optional[str],
+        view: MaterializedView,
+        log: Optional[DeltaLog],
+        seq: int = 0,
+        recovered: bool = False,
+    ) -> None:
+        self.name = name
+        self.program = program
+        self.program_text = program_text
+        self.carrier = carrier
+        self.view = view
+        self.log = log
+        self.seq = seq
+        self.queue: "asyncio.Queue" = asyncio.Queue()
+        self.task: Optional["asyncio.Task"] = None
+        self.subscribers: List[Subscription] = []
+        self.recent: "deque" = deque(maxlen=_RECENT_WINDOW)
+        self.recovered = recovered
+        self.submitted = 0
+        self.commits = 0
+
+
+class ViewServer:
+    """A long-lived host for materialized views (see the module doc).
+
+    Parameters
+    ----------
+    state_dir:
+        Root directory for durability.  Each view owns
+        ``<state_dir>/<view name>/`` (a :class:`~repro.server.wal.DeltaLog`);
+        ``None`` serves purely in memory.
+    tick:
+        Seconds the writer lingers after the first queued delta before
+        committing, so concurrent submitters land in one batch.  ``0``
+        commits immediately with whatever else is already queued.
+    snapshot_every:
+        Cut a snapshot (and prune the WAL behind it) every this many
+        commits.  ``None`` disables periodic snapshots — the WAL then
+        grows until :meth:`close`, which always cuts a final snapshot.
+    """
+
+    def __init__(
+        self,
+        state_dir: Optional[Union[str, Path]] = None,
+        tick: float = 0.0,
+        snapshot_every: Optional[int] = 64,
+    ) -> None:
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self.tick = tick
+        self.snapshot_every = snapshot_every
+        self._views: Dict[str, _ViewState] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> List[ViewInfo]:
+        """Recover every view the state directory holds; return their infos.
+
+        Recovery is replay: rebuild the view at the newest snapshot,
+        then apply the WAL entries after it — each one a committed
+        batch — through the ordinary maintenance path.
+        """
+        recovered = []
+        if self.state_dir is not None and self.state_dir.is_dir():
+            for child in sorted(self.state_dir.iterdir()):
+                if child.is_dir() and DeltaLog.exists(child):
+                    state = self._recover(child)
+                    self._attach(state)
+                    recovered.append(self.info(state.name))
+        return recovered
+
+    def _recover(self, directory: Path) -> _ViewState:
+        log = DeltaLog(directory)
+        rec = log.recover()
+        program = parse_program(rec.program_text, carrier=rec.carrier)
+        view = MaterializedView(program, rec.db, semantics=rec.semantics)
+        for _seq, delta in rec.entries:
+            view.apply(delta)
+        return _ViewState(
+            name=rec.view,
+            program=program,
+            program_text=rec.program_text,
+            carrier=rec.carrier,
+            view=view,
+            log=log,
+            seq=rec.last_seq,
+            recovered=True,
+        )
+
+    def register(
+        self,
+        name: str,
+        program_text: str,
+        db: Database,
+        semantics: str = "stratified",
+        carrier: Optional[str] = None,
+        durable: bool = True,
+    ) -> ViewInfo:
+        """Host a new view: parse, validate, evaluate, start its writer.
+
+        With a state directory (and ``durable``), the initial database
+        is snapshotted before the first delta is accepted, so a crash at
+        any later point recovers.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        if name in self._views:
+            raise ValueError("a view named %r is already registered" % name)
+        if semantics not in SEMANTICS:
+            raise ValueError(
+                "unknown semantics %r; expected one of %s" % (semantics, SEMANTICS)
+            )
+        program = parse_program(program_text, carrier=carrier)
+        check_database(program, db)
+        log = None
+        if durable and self.state_dir is not None:
+            log = DeltaLog.initialise(
+                self.state_dir / name, name, program_text, semantics, carrier, db
+            )
+        view = MaterializedView(program, db, semantics=semantics)
+        state = _ViewState(
+            name=name,
+            program=program,
+            program_text=program_text,
+            carrier=carrier,
+            view=view,
+            log=log,
+        )
+        self._attach(state)
+        return self.info(name)
+
+    def _attach(self, state: _ViewState) -> None:
+        self._views[state.name] = state
+        state.task = asyncio.get_running_loop().create_task(self._writer_loop(state))
+
+    async def close(self) -> None:
+        """Stop every writer, end subscriptions, cut final snapshots."""
+        self._closed = True
+        for state in self._views.values():
+            state.queue.put_nowait(_SHUTDOWN)
+        for state in self._views.values():
+            if state.task is not None:
+                await state.task
+                state.task = None
+            if state.log is not None and state.seq > state.log.snapshot_seq:
+                state.log.snapshot(state.seq, state.view.db)
+            for sub in list(state.subscribers):
+                sub.close()
+            state.subscribers.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def views(self) -> List[str]:
+        """The hosted view names, sorted."""
+        return sorted(self._views)
+
+    def _state(self, name: str) -> _ViewState:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise UnknownViewError(name, self._views) from None
+
+    def info(self, name: str) -> ViewInfo:
+        """Schema-level facts about a hosted view."""
+        state = self._state(name)
+        program = state.program
+        return ViewInfo(
+            name=state.name,
+            semantics=state.view.semantics,
+            carrier=state.carrier,
+            seq=state.seq,
+            edb={p: program.arity(p) for p in sorted(program.edb_predicates)},
+            idb={p: program.arity(p) for p in sorted(program.idb_predicates)},
+            durable=state.log is not None,
+            recovered=state.recovered,
+        )
+
+    def stats(self, name: str) -> Dict[str, Any]:
+        """Serving counters for one view (the observability face)."""
+        state = self._state(name)
+        return {
+            "seq": state.seq,
+            "submitted": state.submitted,
+            "commits": state.commits,
+            "applied": state.view.applied,
+            "recomputes": state.view.recomputes,
+            "queue_depth": state.queue.qsize(),
+            "subscribers": len(state.subscribers),
+            "recent_events": len(state.recent),
+            # ChangeSet hashes by content, so the window dedups exactly.
+            "distinct_recent_changes": len({cs for _, cs in state.recent}),
+            "snapshot_seq": (
+                state.log.snapshot_seq if state.log is not None else None
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+
+    def pin(self, name: str) -> Pinned:
+        """The current ``(seq, db, result)``, safe to hold across awaits."""
+        state = self._state(name)
+        return Pinned(seq=state.seq, db=state.view.db, result=state.view.result)
+
+    def query(
+        self, name: str, predicate: str, undefined: bool = False
+    ) -> Tuple[int, Relation]:
+        """One predicate's current value with its commit sequence.
+
+        EDB predicates read from the database, IDB predicates from the
+        maintained result.  For well-founded views the IDB value is the
+        *true* partition; ``undefined=True`` reads the undefined one
+        (an error for two-valued views, which have none).
+        """
+        state = self._state(name)
+        program = state.program
+        if undefined:
+            if state.view.semantics != "wellfounded":
+                raise ValueError(
+                    "view %r has two-valued semantics %r: no undefined "
+                    "partition to query" % (name, state.view.semantics)
+                )
+            if predicate not in program.idb_predicates:
+                raise KeyError(
+                    "predicate %r is not an IDB predicate of view %r"
+                    % (predicate, name)
+                )
+            return state.seq, state.view.result.undefined_idb()[predicate]
+        if predicate in program.idb_predicates:
+            return state.seq, state.view.relation(predicate)
+        rel = state.view.db.get(predicate)
+        if rel is None:
+            raise KeyError(
+                "predicate %r is neither an IDB predicate nor a database "
+                "relation of view %r" % (predicate, name)
+            )
+        return state.seq, rel
+
+    def subscribe(self, name: str) -> Subscription:
+        """Stream every future committed batch's net changeset."""
+        state = self._state(name)
+        sub = Subscription(name)
+        state.subscribers.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Detach and close a subscription."""
+        state = self._views.get(sub.view)
+        if state is not None and sub in state.subscribers:
+            state.subscribers.remove(sub)
+        sub.close()
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+
+    async def submit(self, name: str, delta: Delta) -> Tuple[int, ChangeSet]:
+        """Queue a delta; await its commit.
+
+        The delta is validated against the view's schema *now* (a bad
+        delta fails its submitter alone, never the batch it would have
+        joined) and acknowledged once the batch containing it is durably
+        logged and applied.  The returned changeset is the whole batch's
+        net effect and the sequence number is the batch's commit — the
+        transaction the submitter rode in.
+        """
+        state = self._state(name)
+        state.view.validate_delta(delta)
+        state.submitted += 1
+        future: "asyncio.Future" = asyncio.get_running_loop().create_future()
+        state.queue.put_nowait((delta, future))
+        return await future
+
+    async def _writer_loop(self, state: _ViewState) -> None:
+        while True:
+            item = await state.queue.get()
+            if item is _SHUTDOWN:
+                return
+            batch = [item]
+            if self.tick > 0:
+                # Linger one tick so concurrent submitters share the pass.
+                await asyncio.sleep(self.tick)
+            stop = False
+            while True:
+                try:
+                    nxt = state.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt is _SHUTDOWN:
+                    stop = True
+                    break
+                batch.append(nxt)
+            self._commit(state, batch)
+            if stop:
+                return
+
+    def _commit(self, state: _ViewState, batch) -> None:
+        composed = Delta.empty()
+        for delta, _future in batch:
+            composed = composed.compose(delta)
+        futures = [future for _delta, future in batch]
+        if composed.is_empty():
+            # The batch churned to nothing: no log entry, no seq, and the
+            # committed-state semantics says nothing happened.
+            for future in futures:
+                if not future.cancelled():
+                    future.set_result((state.seq, ChangeSet()))
+            return
+        seq = state.seq + 1
+        try:
+            if state.log is not None:
+                # Write-ahead: the entry is durable before any state moves
+                # and before any submitter is acknowledged.
+                state.log.append(seq, composed)
+            try:
+                changeset = state.view.apply(composed)
+            except BaseException:
+                # apply's exception contract left the view untouched; the
+                # logged entry must not outlive the failed batch, or replay
+                # would apply an update that never happened.
+                if state.log is not None:
+                    state.log.discard(seq)
+                raise
+        except Exception as exc:
+            for future in futures:
+                if not future.cancelled():
+                    future.set_exception(exc)
+            return
+        state.seq = seq
+        state.commits += 1
+        if (
+            state.log is not None
+            and self.snapshot_every is not None
+            and seq - state.log.snapshot_seq >= self.snapshot_every
+        ):
+            state.log.snapshot(seq, state.view.db)
+        if not changeset.is_empty():
+            state.recent.append((seq, changeset))
+            for sub in state.subscribers:
+                sub._publish(seq, changeset)
+        for future in futures:
+            if not future.cancelled():
+                future.set_result((seq, changeset))

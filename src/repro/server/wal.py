@@ -1,0 +1,304 @@
+"""Durability: a write-ahead delta log plus periodic database snapshots.
+
+A :class:`DeltaLog` owns one view's state directory::
+
+    <dir>/
+      meta.json              format, view name, semantics, carrier,
+                             schema {relation: arity}, snapshot_seq
+      program.dl             the registered program text
+      snapshot-<SEQ>/        the database at commit SEQ:
+                             <relation>.csv per relation (csvio format)
+                             + @universe.csv (the full universe, which
+                             can exceed the active domain)
+      wal/<SEQ>/             one committed batch per directory, in the
+                             CSV delta format of :func:`repro.db.csvio.dump_delta`
+
+Log entries *are* CSV deltas — the format the CLI's ``--delta``
+directories already use — so a WAL entry can be inspected, edited or
+replayed by hand with the ordinary tools.  This is also why the CSV
+value round trip had to become the identity (:mod:`repro.db.csvio`):
+a log whose entries come back subtly different replays the server into
+a different database than the one that crashed.
+
+Crash safety is rename-based: an entry is dumped into a ``.tmp-`` name
+and atomically renamed into place, a snapshot directory is fully
+written before ``meta.json`` (rewritten via ``os.replace``) points at
+its sequence number, and recovery ignores anything not named like a
+committed artefact.  At every crash point ``meta.json`` therefore
+names a complete snapshot, and replaying the WAL entries *after* it
+reproduces the exact pre-crash state (maintenance == recompute is
+property-tested, and apply is deterministic).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..db import csvio
+from ..db.database import Database
+from ..db.relation import Relation
+from ..materialize.delta import Delta
+
+PathLike = Union[str, Path]
+
+_FORMAT = 1
+_META = "meta.json"
+_PROGRAM = "program.dl"
+_WAL = "wal"
+_SNAPSHOT_PREFIX = "snapshot-"
+_UNIVERSE = "@universe"
+_SEQ_WIDTH = 8
+
+
+def _seq_name(seq: int) -> str:
+    return "%0*d" % (_SEQ_WIDTH, seq)
+
+
+def _parse_seq(name: str) -> Optional[int]:
+    if len(name) == _SEQ_WIDTH and name.isdigit():
+        return int(name)
+    return None
+
+
+@dataclass
+class RecoveredState:
+    """Everything :meth:`DeltaLog.recover` reads back from disk."""
+
+    view: str
+    program_text: str
+    semantics: str
+    carrier: Optional[str]
+    schema: Dict[str, int]
+    db: Database
+    snapshot_seq: int
+    entries: List[Tuple[int, Delta]]
+
+    @property
+    def last_seq(self) -> int:
+        """The sequence number of the newest committed batch."""
+        return self.entries[-1][0] if self.entries else self.snapshot_seq
+
+
+class DeltaLog:
+    """One view's durable state: snapshot + numbered CSV delta entries."""
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        self._meta: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Creation and recovery
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def exists(cls, directory: PathLike) -> bool:
+        """True when ``directory`` holds an initialised log."""
+        return (Path(directory) / _META).is_file()
+
+    @classmethod
+    def initialise(
+        cls,
+        directory: PathLike,
+        view: str,
+        program_text: str,
+        semantics: str,
+        carrier: Optional[str],
+        db: Database,
+    ) -> "DeltaLog":
+        """Create a fresh state directory with a snapshot at sequence 0."""
+        log = cls(directory)
+        if cls.exists(directory):
+            raise ValueError(
+                "state directory %s is already initialised; recover from it "
+                "or point the server at a fresh directory" % log.directory
+            )
+        log.directory.mkdir(parents=True, exist_ok=True)
+        (log.directory / _WAL).mkdir(exist_ok=True)
+        (log.directory / _PROGRAM).write_text(program_text)
+        schema = {name: db[name].arity for name in db.relation_names()}
+        log._write_snapshot_dir(0, db)
+        log._write_meta(
+            {
+                "format": _FORMAT,
+                "view": view,
+                "semantics": semantics,
+                "carrier": carrier,
+                "schema": schema,
+                "snapshot_seq": 0,
+            }
+        )
+        return log
+
+    def recover(self) -> RecoveredState:
+        """Read back the snapshot and every committed entry after it."""
+        meta = self._read_meta()
+        schema = dict(meta["schema"])
+        snapshot_seq = meta["snapshot_seq"]
+        db = self._load_snapshot(snapshot_seq, schema)
+        entries = list(self.entries(after=snapshot_seq, schema=schema))
+        return RecoveredState(
+            view=meta["view"],
+            program_text=(self.directory / _PROGRAM).read_text(),
+            semantics=meta["semantics"],
+            carrier=meta.get("carrier"),
+            schema=schema,
+            db=db,
+            snapshot_seq=snapshot_seq,
+            entries=entries,
+        )
+
+    # ------------------------------------------------------------------
+    # The write-ahead log
+    # ------------------------------------------------------------------
+
+    def append(self, seq: int, delta: Delta) -> None:
+        """Durably record batch ``seq`` (atomic: dump to tmp, rename)."""
+        wal = self.directory / _WAL
+        final = wal / _seq_name(seq)
+        if final.exists():
+            raise ValueError("WAL entry %d already exists in %s" % (seq, wal))
+        tmp = wal / (".tmp-" + _seq_name(seq))
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir(parents=True)
+        csvio.dump_delta(delta, tmp)
+        os.replace(tmp, final)
+
+    def discard(self, seq: int) -> None:
+        """Remove entry ``seq`` (the apply-failed undo of a logged batch)."""
+        entry = self.directory / _WAL / _seq_name(seq)
+        if entry.exists():
+            shutil.rmtree(entry)
+
+    def entries(
+        self, after: int = 0, schema: Optional[Dict[str, int]] = None
+    ) -> Iterator[Tuple[int, Delta]]:
+        """Committed ``(seq, delta)`` entries with ``seq > after``, in order.
+
+        ``.tmp-`` leftovers of a crashed append (never renamed, hence
+        never committed, hence never acknowledged) are ignored.
+        """
+        if schema is None:
+            schema = dict(self._read_meta()["schema"])
+        wal = self.directory / _WAL
+        if not wal.is_dir():
+            return
+        seqs = sorted(
+            seq
+            for entry in wal.iterdir()
+            for seq in [_parse_seq(entry.name)]
+            if seq is not None and seq > after
+        )
+        for seq in seqs:
+            yield seq, csvio.load_delta(wal / _seq_name(seq), schema)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self, seq: int, db: Database) -> None:
+        """Snapshot the database at commit ``seq`` and prune behind it.
+
+        Order matters for crash safety: the new snapshot directory is
+        fully written first, then ``meta.json`` atomically starts
+        pointing at it, and only then are the superseded snapshot and
+        the WAL entries it absorbs deleted.  A crash between any two
+        steps leaves a recoverable state (at worst with stale artefacts
+        the next snapshot prunes).
+        """
+        meta = self._read_meta()
+        self._write_snapshot_dir(seq, db)
+        meta["snapshot_seq"] = seq
+        meta["schema"] = {name: db[name].arity for name in db.relation_names()}
+        self._write_meta(meta)
+        self._prune(seq)
+
+    @property
+    def snapshot_seq(self) -> int:
+        """The commit sequence the current snapshot captures."""
+        return self._read_meta()["snapshot_seq"]
+
+    def _snapshot_dir(self, seq: int) -> Path:
+        return self.directory / (_SNAPSHOT_PREFIX + _seq_name(seq))
+
+    def _write_snapshot_dir(self, seq: int, db: Database) -> None:
+        final = self._snapshot_dir(seq)
+        tmp = self.directory / (".tmp-" + final.name)
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir(parents=True)
+        csvio.dump_database(db, tmp)
+        # The universe can exceed the active domain (never shrinks), and
+        # completion quantifies over all of it — persist it explicitly.
+        csvio.dump_relation(
+            Relation(_UNIVERSE, 1, [(v,) for v in db.universe]),
+            tmp / (_UNIVERSE + ".csv"),
+        )
+        if final.exists():
+            shutil.rmtree(final)
+        os.replace(tmp, final)
+
+    def _load_snapshot(self, seq: int, schema: Dict[str, int]) -> Database:
+        directory = self._snapshot_dir(seq)
+        if not directory.is_dir():
+            raise ValueError(
+                "state directory %s names snapshot %d but %s is missing"
+                % (self.directory, seq, directory)
+            )
+        base = csvio.load_database(directory, schema)
+        universe_rel = csvio.load_relation(
+            directory / (_UNIVERSE + ".csv"), _UNIVERSE, 1
+        )
+        universe = base.universe | {v for (v,) in universe_rel}
+        return Database(universe, base.relations.values(), check=False)
+
+    def _prune(self, seq: int) -> None:
+        """Drop snapshots older than ``seq`` and WAL entries ≤ ``seq``."""
+        for entry in self.directory.iterdir():
+            if entry.name.startswith(_SNAPSHOT_PREFIX):
+                snap_seq = _parse_seq(entry.name[len(_SNAPSHOT_PREFIX):])
+                if snap_seq is not None and snap_seq < seq:
+                    shutil.rmtree(entry)
+        wal = self.directory / _WAL
+        for entry in wal.iterdir():
+            entry_seq = _parse_seq(entry.name)
+            if entry_seq is not None and entry_seq <= seq:
+                shutil.rmtree(entry)
+
+    # ------------------------------------------------------------------
+    # meta.json
+    # ------------------------------------------------------------------
+
+    def _read_meta(self) -> dict:
+        if self._meta is None:
+            path = self.directory / _META
+            if not path.is_file():
+                raise ValueError(
+                    "state directory %s has no %s; expected a directory "
+                    "initialised by DeltaLog.initialise (or `repro serve`)"
+                    % (self.directory, _META)
+                )
+            with open(path) as fh:
+                meta = json.load(fh)
+            if meta.get("format") != _FORMAT:
+                raise ValueError(
+                    "state directory %s has log format %r; this build reads "
+                    "format %r" % (self.directory, meta.get("format"), _FORMAT)
+                )
+            self._meta = meta
+        return dict(self._meta)
+
+    def _write_meta(self, meta: dict) -> None:
+        path = self.directory / _META
+        tmp = self.directory / (_META + ".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(meta, fh, indent=2, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self._meta = meta

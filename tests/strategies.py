@@ -17,6 +17,60 @@ from repro.core.rules import Rule
 from repro.core.terms import Variable
 
 _VARS = [Variable(n) for n in ("X", "Y", "Z")]
+
+# ----------------------------------------------------------------------
+# Persistable values for the CSV round-trip properties
+# ----------------------------------------------------------------------
+
+_INT_LOOKALIKES = [
+    # Strings ``int()`` would happily parse but which are NOT the
+    # canonical decimal form — the exact shapes the old bare-``int()``
+    # coercion corrupted on reload.  They must stay strings.
+    "01",
+    "007",
+    "1_0",
+    " 7",
+    "7 ",
+    "+5",
+    "-0",
+    "٣",  # Arabic-Indic digit: int("٣") == 3, but it is not canonical
+    "１",  # fullwidth digit
+    "1e3",
+    "0x10",
+]
+
+# ``csv`` cannot carry NUL, and lone surrogates cannot be encoded.
+_TEXT = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs",), blacklist_characters="\0"
+    ),
+    max_size=8,
+)
+
+
+def _is_canonical_int(s: str) -> bool:
+    from repro.db.csvio import _CANONICAL_INT
+
+    return _CANONICAL_INT.fullmatch(s) is not None
+
+
+def persistable_strings():
+    """Strings that survive the CSV round trip as themselves.
+
+    A string that *is* the canonical decimal form of an integer (``"7"``,
+    ``"-12"``) reloads as that integer by convention, so identity holds
+    exactly for the complement — which includes every int-lookalike
+    (``"01"``, ``" 7"``, ``"+5"``, ...) the old coercion corrupted.
+    """
+    return st.one_of(
+        st.sampled_from(_INT_LOOKALIKES),
+        _TEXT.filter(lambda s: not _is_canonical_int(s)),
+    )
+
+
+def persistable_values():
+    """The CSV-persistable value universe: ints and non-lookalike strings."""
+    return st.one_of(st.integers(), persistable_strings())
 _IDB_UNARY = "T"
 _IDB_BINARY = "S"
 _IDB_ZEROARY = "B"

@@ -126,3 +126,81 @@ def test_zeroary_empty_delta_roundtrip(tmp_path):
     assert list(tmp_path.iterdir()) == []
     back = csvio.load_delta(tmp_path, {"B": 0})
     assert back.is_empty()
+
+
+# ----------------------------------------------------------------------
+# Value-corruption regressions: only the *canonical* decimal form of an
+# integer reloads as an int.  The old bare-int() coercion also captured
+# "01", " 7", "+5", "1_0", ... — silently rewriting stored strings,
+# which would have poisoned the server's WAL replay.
+# ----------------------------------------------------------------------
+
+
+def test_int_lookalike_strings_roundtrip_as_strings(tmp_path):
+    rel = Relation("E", 2, [("01", "1_0"), (" 7", "+5")])
+    path = tmp_path / "E.csv"
+    csvio.dump_relation(rel, path)
+    assert csvio.load_relation(path, "E", 2) == rel
+
+
+@pytest.mark.parametrize(
+    "lookalike",
+    ["01", "007", "1_0", " 7", "7 ", "+5", "-0", "- 1", "٣", "１", "1e3"],
+)
+def test_noncanonical_int_forms_stay_strings(tmp_path, lookalike):
+    path = tmp_path / "V.csv"
+    csvio.dump_relation(Relation("V", 1, [(lookalike,)]), path)
+    (loaded,) = next(iter(csvio.load_relation(path, "V", 1)))
+    assert loaded == lookalike and isinstance(loaded, str)
+
+
+def test_canonical_negative_int_still_coerces(tmp_path):
+    rel = Relation("V", 1, [(-12,), (0,), (345,)])
+    path = tmp_path / "V.csv"
+    csvio.dump_relation(rel, path)
+    assert csvio.load_relation(path, "V", 1) == rel
+
+
+def test_empty_string_value_roundtrips(tmp_path):
+    # Arity-1 ("",) used to vanish: an unquoted empty field is a blank
+    # line, which csv.reader skips.  QUOTE_NONNUMERIC keeps it visible.
+    rel = Relation("V", 1, [("",), ("x",)])
+    path = tmp_path / "V.csv"
+    csvio.dump_relation(rel, path)
+    assert csvio.load_relation(path, "V", 1) == rel
+
+
+def test_dump_rejects_bool_values(tmp_path):
+    # bool is an int subclass; unquoted "True" would reload as a string.
+    with pytest.raises(ValueError, match="bool"):
+        csvio.dump_relation(Relation("V", 1, [(True,)]), tmp_path / "V.csv")
+
+
+def test_dump_rejects_nonpersistable_types(tmp_path):
+    with pytest.raises(ValueError):
+        csvio.dump_relation(Relation("V", 1, [(1.5,)]), tmp_path / "V.csv")
+
+
+# ----------------------------------------------------------------------
+# load_delta error reporting
+# ----------------------------------------------------------------------
+
+
+def test_load_delta_missing_directory_is_a_clear_error(tmp_path):
+    with pytest.raises(ValueError, match="does not exist"):
+        csvio.load_delta(tmp_path / "nope", {"E": 2})
+
+
+def test_load_delta_on_a_file_is_a_clear_error(tmp_path):
+    stray = tmp_path / "delta"
+    stray.write_text("1,2\n")
+    with pytest.raises(ValueError, match="not a directory"):
+        csvio.load_delta(stray, {"E": 2})
+
+
+def test_load_delta_empty_relation_name_is_a_clear_error(tmp_path):
+    # A file named exactly ".insert.csv" has an empty relation name; the
+    # old code reported it as an "unknown relation ''" confusion.
+    (tmp_path / ".insert.csv").write_text("1,2\n")
+    with pytest.raises(ValueError, match="empty relation name"):
+        csvio.load_delta(tmp_path, {"E": 2})

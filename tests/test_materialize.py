@@ -274,6 +274,18 @@ class TestDirectedMaintenance:
         assert "  + 1" in text and "  - 1, 2" in text
         assert ChangeSet().format() == "(no change)"
 
+    def test_changeset_hashes_by_content(self):
+        a = ChangeSet(inserted={"T": {(1,), (2,)}}, deleted={"E": {(1, 2)}})
+        b = ChangeSet(
+            inserted={"T": {(2,), (1,)}}, deleted={"E": {(1, 2)}}
+        )
+        c = ChangeSet(inserted={"T": {(1,)}})
+        assert a == b and hash(a) == hash(b)
+        # Usable in sets/dicts: the server's recent-events window dedups
+        # committed changesets by content.
+        assert {a, b, c} == {a, c}
+        assert hash(ChangeSet()) == hash(ChangeSet())
+
 
 # ----------------------------------------------------------------------
 # The Hypothesis property: random programs × random delta sequences

@@ -1,0 +1,424 @@
+"""Tests for the live view server: service, protocol, WAL replay, TCP.
+
+The crash/replay tests are the durability contract in miniature: after
+every acknowledged commit, killing the writer tasks without a graceful
+close (so no final snapshot is cut) and restarting from the state
+directory must reproduce the pre-crash sequence number, database and
+maintained result *exactly* — on all three semantics, and with the
+int-lookalike string values (``"01"``, ``" 7"``, ``"+5"``) whose
+corruption by the old CSV coercion would have made replay diverge.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.relation import Relation
+from repro.materialize import ChangeSet, Delta
+from repro.server import ViewServer
+from repro.server.net import Client, ServerError, TcpFrontend
+from repro.server.protocol import (
+    ProtocolError,
+    decode_changeset,
+    decode_database,
+    decode_delta,
+    encode_changeset,
+    encode_delta,
+)
+from repro.server.service import UnknownViewError
+
+TC_PROGRAM = """
+    TC(X, Y) :- E(X, Y).
+    TC(X, Y) :- E(X, Z), TC(Z, Y).
+"""
+
+TC_NOTC_PROGRAM = TC_PROGRAM + "    NOTC(X, Y) :- !TC(X, Y).\n"
+
+WIN_MOVE_PROGRAM = "W(X) :- E(X, Y), !W(Y).\n"
+
+
+def _edges(*pairs):
+    universe = {v for pair in pairs for v in pair}
+    return Database(universe, [Relation("E", 2, list(pairs))])
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# Protocol encode/decode
+# ----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_delta_roundtrip(self):
+        delta = Delta(
+            inserts={"E": [(1, "01"), ("", -2)]}, deletes={"V": [(" 7",)]}
+        )
+        assert decode_delta(encode_delta(delta)) == delta
+
+    def test_changeset_roundtrip(self):
+        changeset = ChangeSet(
+            inserted={"T": {(1,), ("+5",)}}, deleted={"E": {(1, 2)}}
+        )
+        assert decode_changeset(encode_changeset(changeset)) == changeset
+
+    def test_database_roundtrip_carries_universe(self):
+        db = Database({1, 2, 3, "x"}, [Relation("E", 2, [(1, 2)])])
+        obj = {
+            "relations": {"E": [[1, 2]]},
+            "arities": {"E": 2},
+            "universe": [1, 2, 3, "x"],
+        }
+        back = decode_database(obj)
+        assert back["E"] == db["E"]
+        assert back.universe == db.universe
+
+    def test_bool_values_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_delta({"inserts": {"E": [[True, 1]]}, "deletes": {}})
+
+    def test_float_values_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_delta({"inserts": {"E": [[1.5, 1]]}, "deletes": {}})
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+
+
+class TestViewServer:
+    def test_register_query_and_submit(self):
+        async def scenario():
+            service = ViewServer()
+            info = service.register("tc", TC_PROGRAM, _edges((1, 2), (2, 3)))
+            assert info.idb == {"TC": 2} and not info.durable
+            seq, rel = service.query("tc", "TC")
+            assert seq == 0 and (1, 3) in set(rel.tuples)
+            seq, changeset = await service.submit(
+                "tc", Delta(inserts={"E": [(3, 4)]})
+            )
+            assert seq == 1
+            assert (1, 4) in changeset.inserted["TC"]
+            _, edb = service.query("tc", "E")
+            assert (3, 4) in set(edb.tuples)
+            await service.close()
+
+        _run(scenario())
+
+    def test_unknown_view_and_duplicate_registration(self):
+        async def scenario():
+            service = ViewServer()
+            with pytest.raises(UnknownViewError):
+                service.query("nope", "TC")
+            service.register("v", TC_PROGRAM, _edges((1, 2)))
+            with pytest.raises(ValueError):
+                service.register("v", TC_PROGRAM, _edges((1, 2)))
+            with pytest.raises(ValueError):
+                service.register(
+                    "w", TC_PROGRAM, _edges((1, 2)), semantics="magic"
+                )
+            await service.close()
+
+        _run(scenario())
+
+    def test_tick_folds_concurrent_submits_into_one_commit(self):
+        async def scenario():
+            service = ViewServer(tick=0.05)
+            service.register("tc", TC_PROGRAM, _edges((1, 2)))
+            acks = await asyncio.gather(
+                *(
+                    service.submit("tc", Delta(inserts={"E": [(10 + i, 11 + i)]}))
+                    for i in range(4)
+                )
+            )
+            seqs = {seq for seq, _ in acks}
+            changesets = {cs for _, cs in acks}
+            # One batch: every submitter rode the same commit and got the
+            # batch's net changeset.
+            assert seqs == {1} and len(changesets) == 1
+            stats = service.stats("tc")
+            assert stats["submitted"] == 4 and stats["commits"] == 1
+            await service.close()
+
+        _run(scenario())
+
+    def test_churning_batch_commits_nothing(self):
+        async def scenario():
+            service = ViewServer()
+            service.register("tc", TC_PROGRAM, _edges((1, 2)))
+            seq, changeset = await service.submit("tc", Delta.empty())
+            assert seq == 0 and changeset.is_empty()
+            assert service.stats("tc")["commits"] == 0
+            await service.close()
+
+        _run(scenario())
+
+    def test_bad_delta_fails_its_submitter_alone(self):
+        async def scenario():
+            service = ViewServer()
+            service.register("tc", TC_PROGRAM, _edges((1, 2)))
+            with pytest.raises((ValueError, KeyError)):
+                await service.submit("tc", Delta(inserts={"E": [(1, 2, 3)]}))
+            with pytest.raises((ValueError, KeyError)):
+                await service.submit("tc", Delta(inserts={"TC": [(9, 9)]}))
+            # The view is untouched and still accepts good deltas.
+            seq, _ = await service.submit("tc", Delta(inserts={"E": [(2, 3)]}))
+            assert seq == 1
+            await service.close()
+
+        _run(scenario())
+
+    def test_subscribers_stream_committed_changesets(self):
+        async def scenario():
+            service = ViewServer()
+            service.register("tc", TC_PROGRAM, _edges((1, 2)))
+            sub = service.subscribe("tc")
+            await service.submit("tc", Delta(inserts={"E": [(2, 3)]}))
+            await service.submit("tc", Delta(deletes={"E": [(2, 3)]}))
+            seen = []
+            async for seq, changeset in sub:
+                seen.append((seq, changeset))
+                if len(seen) == 2:
+                    break
+            assert [s for s, _ in seen] == [1, 2]
+            assert (2, 3) in seen[0][1].inserted["E"]
+            assert (2, 3) in seen[1][1].deleted["E"]
+            service.unsubscribe(sub)
+            assert service.stats("tc")["subscribers"] == 0
+            await service.close()
+
+        _run(scenario())
+
+    def test_pin_is_snapshot_consistent_across_commits(self):
+        async def scenario():
+            service = ViewServer()
+            service.register("tc", TC_PROGRAM, _edges((1, 2)))
+            pinned = service.pin("tc")
+            await service.submit("tc", Delta(inserts={"E": [(2, 3)]}))
+            # The pin still shows the pre-commit world, internally
+            # consistent; the live view moved on.
+            assert pinned.seq == 0
+            assert (2, 3) not in set(pinned.db["E"].tuples)
+            assert (1, 3) not in set(pinned.result.idb["TC"].tuples)
+            assert service.pin("tc").seq == 1
+            await service.close()
+
+        _run(scenario())
+
+    def test_undefined_partition_queries(self):
+        async def scenario():
+            service = ViewServer()
+            service.register(
+                "game",
+                WIN_MOVE_PROGRAM,
+                _edges((1, 2), (2, 3), (3, 4), (4, 4)),
+                semantics="wellfounded",
+            )
+            _, undef = service.query("game", "W", undefined=True)
+            assert (4, 4) in set(
+                service.query("game", "E")[1].tuples
+            ) and (4,) in set(undef.tuples)
+            service.register("tc", TC_PROGRAM, _edges((1, 2)))
+            with pytest.raises(ValueError):
+                service.query("tc", "TC", undefined=True)
+            await service.close()
+
+        _run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Durability: crash without a final snapshot, recover by replay
+# ----------------------------------------------------------------------
+
+_DELTAS = [
+    Delta(inserts={"E": [(4, 1)]}),
+    # Int-lookalike strings and a genuine int sharing relations: the
+    # shapes whose corruption would make replay diverge.
+    Delta(inserts={"E": [("01", " 7"), (" 7", 2)]}),
+    Delta(deletes={"E": [(2, 3)]}),
+    Delta(inserts={"E": [(5, "+5"), ("+5", "01")]}),
+    Delta(deletes={"E": [(4, 1)]}),
+]
+
+
+def _result_value(view):
+    if view.semantics == "wellfounded":
+        return (dict(view.result.true_idb()), dict(view.result.undefined_idb()))
+    return dict(view.result.idb)
+
+
+@pytest.mark.parametrize(
+    "semantics,program,carrier",
+    [
+        ("stratified", TC_NOTC_PROGRAM, "NOTC"),
+        ("inflationary", TC_PROGRAM, None),
+        ("wellfounded", WIN_MOVE_PROGRAM, None),
+    ],
+)
+def test_crash_then_replay_recovers_exactly(tmp_path, semantics, program, carrier):
+    async def scenario():
+        # snapshot_every=3 with five commits: recovery crosses a
+        # mid-history snapshot AND a WAL tail.
+        service = ViewServer(state_dir=tmp_path, tick=0.0, snapshot_every=3)
+        await service.start()
+        service.register(
+            "v",
+            program,
+            _edges((1, 2), (2, 3), (3, 4)),
+            semantics=semantics,
+            carrier=carrier,
+        )
+        for delta in _DELTAS:
+            await service.submit("v", delta)
+        state = service._views["v"]
+        pre = (state.seq, state.view.db, _result_value(state.view))
+        assert state.log.snapshot_seq == 3  # a mid-history snapshot exists
+
+        # Crash: cancel the writers, cut no final snapshot.
+        for viewstate in service._views.values():
+            viewstate.task.cancel()
+        del service
+
+        restarted = ViewServer(state_dir=tmp_path, tick=0.0, snapshot_every=3)
+        recovered = await restarted.start()
+        assert [info.name for info in recovered] == ["v"]
+        assert recovered[0].recovered and recovered[0].semantics == semantics
+        state2 = restarted._views["v"]
+        assert (state2.seq, state2.view.db, _result_value(state2.view)) == pre
+
+        # The recovered view keeps serving and the log keeps counting.
+        seq, _ = await restarted.submit("v", Delta(inserts={"E": [(99, 1)]}))
+        assert seq == pre[0] + 1
+        await restarted.close()
+
+    _run(scenario())
+
+
+def test_graceful_close_cuts_a_final_snapshot(tmp_path):
+    async def scenario():
+        service = ViewServer(state_dir=tmp_path, tick=0.0, snapshot_every=100)
+        service.register("v", TC_PROGRAM, _edges((1, 2)))
+        await service.submit("v", Delta(inserts={"E": [(2, 3)]}))
+        await service.close()
+        # After close, recovery starts at the final snapshot: no WAL
+        # entries remain to replay.
+        restarted = ViewServer(state_dir=tmp_path)
+        (info,) = await restarted.start()
+        assert info.seq == 1
+        assert restarted._views["v"].log.snapshot_seq == 1
+        assert restarted.stats("v")["snapshot_seq"] == 1
+        await restarted.close()
+
+    _run(scenario())
+
+
+def test_nondurable_views_leave_no_state(tmp_path):
+    async def scenario():
+        service = ViewServer(state_dir=tmp_path)
+        info = service.register(
+            "scratch", TC_PROGRAM, _edges((1, 2)), durable=False
+        )
+        assert not info.durable
+        await service.submit("scratch", Delta(inserts={"E": [(2, 3)]}))
+        await service.close()
+        assert list(tmp_path.iterdir()) == []
+
+    _run(scenario())
+
+
+# ----------------------------------------------------------------------
+# TCP front end
+# ----------------------------------------------------------------------
+
+
+class TestTcpFrontend:
+    def test_end_to_end(self):
+        async def scenario():
+            service = ViewServer()
+            frontend = TcpFrontend(service)
+            host, port = await frontend.start()
+            client = await Client.connect(host, port)
+            assert (await client.request("ping"))["pong"]
+
+            ack = await client.register(
+                "tc",
+                TC_PROGRAM,
+                db={"relations": {"E": [[1, 2], [2, 3]]}, "arities": {"E": 2}},
+                durable=False,
+            )
+            assert ack["idb"] == {"TC": 2}
+            assert (await client.request("views"))["views"] == ["tc"]
+
+            watcher = await Client.connect(host, port)
+            events = await watcher.subscribe("tc")
+
+            ack = await client.delta("tc", inserts={"E": [[3, "01"]]})
+            assert ack["seq"] == 1
+            queried = await client.query("tc", "TC")
+            assert [1, "01"] in queried["tuples"]
+
+            seq, changeset = await events.__anext__()
+            assert seq == 1 and (3, "01") in changeset.inserted["E"]
+            await watcher.close()
+
+            info = await client.request("info", view="tc")
+            assert info["seq"] == 1 and not info["durable"]
+            stats = await client.request("stats", view="tc")
+            assert stats["stats"]["commits"] == 1
+
+            with pytest.raises(ServerError, match="no view named"):
+                await client.query("nope", "TC")
+            with pytest.raises(ServerError, match="unknown op"):
+                await client.request("frobnicate")
+
+            await client.request("shutdown")
+            await client.close()
+            await frontend.wait_stopped()
+
+        _run(scenario())
+
+    def test_malformed_requests_get_error_responses(self):
+        async def scenario():
+            service = ViewServer()
+            frontend = TcpFrontend(service)
+            host, port = await frontend.start()
+            client = await Client.connect(host, port)
+            client._writer.write(b"this is not json\n")
+            await client._writer.drain()
+            import json
+
+            response = json.loads(await client._reader.readline())
+            assert not response["ok"] and "JSON" in response["error"]
+            client._writer.write(b'["a","list"]\n')
+            await client._writer.drain()
+            response = json.loads(await client._reader.readline())
+            assert not response["ok"]
+            # The connection survived both: a normal request still works.
+            assert (await client.request("ping"))["pong"]
+            await client.close()
+            await frontend.close()
+
+        _run(scenario())
+
+    def test_subscriber_disconnect_releases_subscription(self):
+        async def scenario():
+            service = ViewServer()
+            frontend = TcpFrontend(service)
+            host, port = await frontend.start()
+            service.register("tc", TC_PROGRAM, _edges((1, 2)))
+            watcher = await Client.connect(host, port)
+            await watcher.subscribe("tc")
+            assert service.stats("tc")["subscribers"] == 1
+            await watcher.close()
+            for _ in range(50):
+                if service.stats("tc")["subscribers"] == 0:
+                    break
+                await asyncio.sleep(0.01)
+            assert service.stats("tc")["subscribers"] == 0
+            await frontend.close()
+
+        _run(scenario())
