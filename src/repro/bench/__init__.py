@@ -2,6 +2,7 @@
 
 from . import experiments  # noqa: F401  (registers the experiments)
 from . import perf  # noqa: F401  (registers the planner perf experiment)
+from . import kernel_perf  # noqa: F401  (registers the columnar kernel bench)
 from . import serve_perf  # noqa: F401  (registers the server load harness)
 from .harness import Experiment, Table, all_experiments, experiment
 

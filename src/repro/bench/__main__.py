@@ -6,10 +6,11 @@ tables as machine-readable data — the ``BENCH_*.json`` files at the repo
 root are committed snapshots of ``python -m repro.bench perf --json``.
 
 ``python -m repro.bench check [--baseline FILE] [--factor F]
-[--floor S] [ids...]`` re-runs the experiments (default: ``perf`` and
-``serve``) and fails when any shipped-path timing cell — evaluation,
-materialized-view update latency *and* the view server's p95 request
-latency under load — regressed more than ``F``-fold
+[--floor S] [ids...]`` re-runs the experiments (default: ``perf``,
+``serve`` and ``kernel``) and fails when any shipped-path timing cell —
+evaluation, materialized-view update latency, the view server's p95
+request latency under load *and* the columnar kernel's primitive ops —
+regressed more than ``F``-fold
 against the committed baseline; CI runs it as the perf gate.  The
 baseline defaults to the **newest** ``BENCH_*.json`` in the working
 directory (natural sort, so ``BENCH_PR10`` outranks ``BENCH_PR9``), and
@@ -21,6 +22,8 @@ baseline would otherwise exempt exactly the newest code from the gate.
 from __future__ import annotations
 
 import json
+import os
+import platform
 import re
 import sys
 import time
@@ -29,12 +32,12 @@ from pathlib import Path
 from .harness import all_experiments, experiment
 
 _TIMING_COLUMNS = frozenset(
-    {"compiled s", "batch s", "update s", "adaptive s", "p95 s"}
+    {"compiled s", "batch s", "update s", "adaptive s", "p95 s", "kernel s"}
 )
 """Shipped-path timing columns the regression gate compares: compiled
 plan execution, batch execution, materialized-view update latency,
-adaptive re-planning + semi-join execution, and the view server's p95
-request latency under load."""
+adaptive re-planning + semi-join execution, the view server's p95
+request latency under load, and the columnar kernel's primitive ops."""
 
 
 def _natural_key(path: Path):
@@ -66,10 +69,29 @@ def _run_experiments(ids):
     return results
 
 
+def _bench_meta() -> dict:
+    """Environment facts every BENCH json carries.
+
+    A committed snapshot is only comparable to a rerun on the same
+    footing — which kernel backend was live (``array`` fallback vs the
+    numpy fast path changes the columnar timings severalfold), which
+    interpreter, how many cores.  Recording them in the artifact makes
+    a surprising gate verdict diagnosable from the file alone.
+    """
+    from ..db import kernel
+
+    return {
+        "kernel_backend": kernel.backend(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def _as_json(results) -> dict:
     return {
         "generated_with": "python -m repro.bench %s --json"
         % " ".join(exp.ident for exp, _, _ in results),
+        "meta": _bench_meta(),
         "experiments": [
             {
                 "id": exp.ident,
@@ -120,7 +142,7 @@ def run_check(argv) -> int:
     with open(baseline_path) as fh:
         baseline = json.load(fh)
 
-    results = _run_experiments(ids or ["perf", "serve"])
+    results = _run_experiments(ids or ["perf", "serve", "kernel"])
     current = _as_json(results)
     if json_out is not None:
         with open(json_out, "w") as fh:

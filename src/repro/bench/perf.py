@@ -64,9 +64,34 @@ def _legacy_inflationary(program: Program, db: Database) -> IDBMap:
 
 
 def _timed(fn: Callable[[], IDBMap]) -> Tuple[IDBMap, float]:
-    start = time.perf_counter()
-    out = fn()
-    return out, time.perf_counter() - start
+    """Run ``fn`` several times post-warm, GC paused; report the minimum.
+
+    The gated cells are millisecond-scale: a single shot measures the
+    scheduler (and, on virtualised CI boxes, steal time) as much as the
+    code — observed spread is 2-3x on an otherwise idle machine.  The
+    protocol here is ``timeit``'s: garbage collection paused around the
+    timed region and the minimum of several runs reported, which
+    estimates the code's intrinsic cost.  Both cells of every compared
+    row go through the same protocol, so the speedup columns compare
+    like with like.
+    """
+    import gc
+
+    best = float("inf")
+    out = None
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(7):
+            start = time.perf_counter()
+            out = fn()
+            elapsed = time.perf_counter() - start
+            if elapsed < best:
+                best = elapsed
+    finally:
+        if enabled:
+            gc.enable()
+    return out, best
 
 
 def inflationary_with_executor(
@@ -79,6 +104,10 @@ def inflationary_with_executor(
     execution model (set-at-a-time + complement vs. dict-at-a-time).
     """
     plan = PLAN_STORE.program_plan(program, db)
+    if executor is execute_plan:
+        out = _inflationary_codes(program, db, plan)
+        if out is not None:
+            return out
     current = empty_idb(program)
     while True:
         interp = as_interpretation(program, db, current)
@@ -91,6 +120,71 @@ def inflationary_with_executor(
         }
         if idb_equal(nxt, current):
             return current
+        current = nxt
+
+
+def _inflationary_codes(program: Program, db: Database, plan) -> IDBMap:
+    """Codes-to-codes inflationary loop; ``None`` bails to the row loop.
+
+    The whole fixpoint stays interned: every round compares sorted
+    unique head-code vectors and feeds code-backed relations
+    (:func:`~repro.core.planning.colexec.relation_from_codes`) into the
+    next interpretation, so no tuple is decoded or re-encoded between
+    rounds.  Bails (``None``) when any plan declines the columnar path
+    or the symbol table widens mid-run — the row loop recomputes from
+    scratch with identical results.
+    """
+    from ..core.planning import colexec
+
+    try:
+        import numpy as np
+    except ImportError:
+        return None
+    if colexec.mode() == "never":
+        return None
+    from ..core.planning.statistics import DEFAULT_STATISTICS as stats
+
+    sym = db.symbols()
+    gen = sym.generation
+    preds = tuple(program.idb_predicates)
+    empty = colexec.empty_codes_array()
+    cur_codes = {p: empty for p in preds}
+    current = empty_idb(program)
+    while True:
+        interp = as_interpretation(program, db, current)
+        derived = {}
+        for rule_plan in plan.plans:
+            out = colexec.execute_plan_codes(rule_plan, interp, stats=stats)
+            if out is None:
+                return None
+            prev = derived.get(rule_plan.head_pred)
+            derived[rule_plan.head_pred] = (
+                out[1] if prev is None else colexec.merge_codes(prev, out[1])
+            )
+        if sym.generation != gen:
+            return None
+        changed = False
+        nxt = {}
+        nxt_codes = {}
+        for p in preds:
+            prev = cur_codes[p]
+            merged = colexec.merge_codes(prev, derived.get(p, empty))
+            if merged is prev or (
+                len(merged) == len(prev) and np.array_equal(merged, prev)
+            ):
+                # Converged predicate: keep the previous relation, whose
+                # cached column views and sorted runs stay warm.
+                nxt_codes[p] = cur_codes[p]
+                nxt[p] = current[p]
+            else:
+                changed = True
+                nxt_codes[p] = merged
+                nxt[p] = colexec.relation_from_codes(
+                    p, program.arity(p), sym, merged
+                )
+        if not changed:
+            return current
+        cur_codes = nxt_codes
         current = nxt
 
 
@@ -157,6 +251,9 @@ def _lfp_static(
 def _lfp_adaptive(program: Program, db: Database, store: PlanStore) -> IDBMap:
     """Naive least-fixpoint with per-round adaptive re-planning."""
     plan = store.adaptive_program_plan(program, db)
+    out = _lfp_adaptive_codes(program, db, plan)
+    if out is not None:
+        return out
     current = empty_idb(program)
     while True:
         interp = as_interpretation(program, db, current)
@@ -167,6 +264,55 @@ def _lfp_adaptive(program: Program, db: Database, store: PlanStore) -> IDBMap:
         }
         if idb_equal(nxt, current):
             return current
+        current = nxt
+
+
+def _lfp_adaptive_codes(program: Program, db: Database, plan) -> IDBMap:
+    """Codes-to-codes naive lfp with adaptive refresh; ``None`` bails.
+
+    Mirrors :func:`_lfp_adaptive`'s row loop through
+    :meth:`~repro.core.planning.adaptive.AdaptiveProgramPlan
+    .consequences_codes`: the round-to-round IDB state is sorted unique
+    head-code vectors, convergence is vector equality, and the refresh's
+    observed sizes come from code-backed relations (``len`` on the
+    vectors).  The same statistics flow into the store's feedback loop
+    as on the row path.
+    """
+    from ..core.planning import colexec
+
+    try:
+        import numpy as np
+    except ImportError:
+        return None
+    if colexec.mode() == "never":
+        return None
+    sym = db.symbols()
+    gen = sym.generation
+    preds = tuple(program.idb_predicates)
+    empty = colexec.empty_codes_array()
+    cur_codes = {p: empty for p in preds}
+    current = empty_idb(program)
+    while True:
+        interp = as_interpretation(program, db, current)
+        derived = plan.consequences_codes(interp)
+        if derived is None or sym.generation != gen:
+            return None
+        changed = False
+        nxt = {}
+        for p in preds:
+            d, c = derived[p], cur_codes[p]
+            # A growing IDB fails the length check for free; the full
+            # vector compare only runs on the confirmation round.
+            if len(d) == len(c) and np.array_equal(d, c):
+                nxt[p] = current[p]
+            else:
+                changed = True
+                nxt[p] = colexec.relation_from_codes(
+                    p, program.arity(p), sym, derived[p]
+                )
+        if not changed:
+            return current
+        cur_codes = derived
         current = nxt
 
 

@@ -67,6 +67,8 @@ class AdaptiveRulePlans:
         "known_sizes",
         "plans",
         "replans",
+        "_size_preds",
+        "_size_sig",
     )
 
     def __init__(
@@ -104,6 +106,8 @@ class AdaptiveRulePlans:
                     store.rule_plan(rule, db=db, small_preds=small_preds)
                 )
         self.replans = 0
+        self._size_preds: Optional[Tuple[str, ...]] = None
+        self._size_sig: Optional[Tuple[int, ...]] = None
 
     def _relevant_known(self, rule: Rule) -> Dict[str, int]:
         """The known sizes worth baking into ``rule``'s plan key.
@@ -129,6 +133,27 @@ class AdaptiveRulePlans:
         plans = self.plans
         factor = self.factor
         known = self.known_sizes
+        # Divergence is a pure function of the watched predicates'
+        # current sizes, so when none of them changed since the last
+        # refresh the whole per-plan sweep is a no-op — one size
+        # signature check covers it (fixpoint loops converge most
+        # predicates rounds before the last, so this is the common case).
+        preds = self._size_preds
+        if preds is None:
+            seen: List[str] = []
+            for plan in plans:
+                for pred, _ in plan.est_cards:
+                    if pred not in known and pred not in seen:
+                        seen.append(pred)
+            preds = self._size_preds = tuple(seen)
+        get = interp.get
+        sizes = {
+            p: (len(r) if (r := get(p)) is not None else 0) for p in preds
+        }
+        sig = tuple(sizes[p] for p in preds)
+        if sig == self._size_sig:
+            return plans
+        replans_before = self.replans
         for i, plan in enumerate(plans):
             est_cards = plan.est_cards
             if not est_cards:
@@ -137,8 +162,10 @@ class AdaptiveRulePlans:
             for pred, estimate in est_cards:
                 if pred in known:
                     continue  # a fact, not a discovery — never stale
-                rel = interp.get(pred)
-                size = len(rel) if rel is not None else 0
+                size = sizes.get(pred)
+                if size is None:
+                    rel = get(pred)
+                    size = len(rel) if rel is not None else 0
                 if diverged(estimate, size, factor):
                     observed = {
                         p: (len(r) if (r := interp.get(p)) is not None else 0)
@@ -158,6 +185,13 @@ class AdaptiveRulePlans:
                     factor=factor,
                 )
                 self.replans += 1
+        if self.replans == replans_before:
+            self._size_sig = sig
+        else:
+            # New plans may watch different predicates; rebuild the
+            # signature basis next round rather than trusting this one.
+            self._size_preds = None
+            self._size_sig = None
         return plans
 
 
@@ -200,6 +234,39 @@ class AdaptiveProgramPlan:
         }
         for plan in self._adaptive.refresh(interp):
             derived[plan.head_pred] |= execute_plan(plan, interp, stats=stats)
+        return derived
+
+    def consequences_codes(self, interp: Database):
+        """Codes-native one-step consequences, or ``None`` when unsupported.
+
+        The interned twin of :meth:`consequences`: per head predicate, a
+        sorted unique int64 vector of head codes under ``interp``'s
+        symbol table (:func:`~repro.core.planning.colexec
+        .execute_plan_codes` per refreshed rule plan, merged per head).
+        A codes-to-codes fixpoint loop compares these vectors directly
+        and builds the next round's relations with
+        :meth:`~repro.db.relation.Relation._from_codes`, so no tuple is
+        ever decoded or re-encoded between rounds.  Returns ``None``
+        when any rule plan cannot be lowered (caller falls back to
+        :meth:`consequences`); the same statistics flow to the store's
+        feedback loop either way.
+        """
+        from . import colexec
+
+        stats = self._adaptive.store.statistics
+        derived: Dict[str, object] = {}
+        for plan in self._adaptive.refresh(interp):
+            out = colexec.execute_plan_codes(plan, interp, stats=stats)
+            if out is None:
+                return None
+            head = out[1]
+            prev = derived.get(plan.head_pred)
+            derived[plan.head_pred] = (
+                head if prev is None else colexec.merge_codes(prev, head)
+            )
+        for p in self.program.idb_predicates:
+            if p not in derived:
+                derived[p] = colexec.empty_codes_array()
         return derived
 
     def __len__(self) -> int:

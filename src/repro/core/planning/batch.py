@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from ...db.algebra import universe_product
 from ...db.database import Database
 from ..terms import Variable
+from . import colexec
 from .plan import (
     AntiJoin,
     BatchJoin,
@@ -408,7 +409,28 @@ def execute_plan(
     stats: Optional[Statistics] = _DEFAULT_SINK,  # type: ignore[assignment]
     semijoin: bool = True,
 ) -> Set[Tuple]:
-    """The set of ground head tuples the plan derives from ``interp``."""
+    """The set of ground head tuples the plan derives from ``interp``.
+
+    When the interned columnar kernel can lower the plan (numpy backend,
+    codes fit 64 bits, sizeable inputs — see
+    :func:`~repro.core.planning.colexec.wants_plan`), the whole pipeline
+    runs as vector arithmetic over the interpretation's symbol table and
+    only the final head codes are externed back to tuples (memoised, so
+    steady-state fixpoint rounds rebuild nothing).  Otherwise — and for
+    any plan the columnar path declines mid-flight — the row executor
+    below produces the identical set.
+    """
+    if colexec.wants_plan(plan, interp):
+        if stats is _DEFAULT_SINK:
+            stats = DEFAULT_STATISTICS
+        result = colexec.execute_plan_codes(
+            plan, interp, stats=stats, semijoin=semijoin
+        )
+        if result is not None:
+            sym, head_codes = result
+            arity = len(plan.head_cols)
+            extern = sym.extern_code
+            return {extern(c, arity) for c in head_codes.tolist()}
     table = solve_plan_table(plan, interp, stats=stats, semijoin=semijoin)
     if not table.rows:
         return set()

@@ -34,6 +34,7 @@ class Database:
         "_active_domain",
         "_sorted_universe",
         "_lineage",
+        "_symcell",
     )
 
     def __init__(
@@ -56,6 +57,13 @@ class Database:
         # (per-stratum working databases, grounding interpretations) in
         # one pass instead of leaking them until LRU churn.
         self._lineage = object()
+        # Symbol-table cell: a one-slot holder shared (like the lineage
+        # token) by every database derived from this one, so the interning
+        # table a fixpoint round creates on a *derived* interpretation is
+        # visible to the base database and to every later round.  Holder
+        # sharing, not table sharing: the table itself is created lazily
+        # by :meth:`symbols`.
+        self._symcell = [None]
         if check:
             self._check_domains()
 
@@ -148,10 +156,44 @@ class Database:
     # Functional updates
     # ------------------------------------------------------------------
 
+    def symbols(self):
+        """This database's interning :class:`~repro.db.kernel.SymbolTable`.
+
+        Created lazily (interning the sorted universe first, so equal
+        databases intern equal universes to identical ids) and *shared*
+        by the whole derivation family — functional updates
+        (:meth:`with_relation`/:meth:`with_relations`/...) and
+        :meth:`apply_delta` propagate the same holder cell, so the table
+        a fixpoint round creates on a derived interpretation is the one
+        every later round (and the base database) sees; interning is
+        monotone, so dense ids survive update streams and WAL replay
+        within a process.  The table is identity-level state (like the
+        lineage token): never part of equality or hashing.
+        """
+        sym = self._symcell[0]
+        if sym is None:
+            from .kernel import SymbolTable
+
+            sym = SymbolTable(self.sorted_universe())
+            self._symcell[0] = sym
+        return sym
+
+    def interned_size(self) -> Optional[int]:
+        """How many constants the family's symbol table holds, or ``None``.
+
+        A pure peek for observability (the server's ``stats`` face):
+        unlike :meth:`symbols` it never *creates* the table, so asking a
+        database that has not touched the columnar kernel reports
+        ``None`` instead of paying the interning pass.
+        """
+        sym = self._symcell[0]
+        return None if sym is None else len(sym)
+
     def _derive(self, relations) -> "Database":
         """A functional-update result, sharing this database's lineage."""
         out = Database(self.universe, relations, check=False)
         out._lineage = self._lineage
+        out._symcell = self._symcell
         return out
 
     def with_relation(self, rel: Relation) -> "Database":
@@ -227,6 +269,10 @@ class Database:
             return self
         universe = self.universe | frozenset(new_values)
         out = Database(universe, new_rels.values(), check=False)
+        # The symbol table is monotone: the post-delta database keeps
+        # it, so interned ids (and every code vector built under an
+        # unwidened generation) survive the update stream.
+        out._symcell = self._symcell
         if invalidate_plans:
             from ..core.planning import PLAN_STORE
 

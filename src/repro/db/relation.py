@@ -8,11 +8,28 @@ sequences of relations to sequences of relations of the same arities.
 
 Relations compare by *value* (name, arity and tuple set), so a fixpoint check
 ``theta(s) == s`` is a plain equality test.
+
+Since the interned columnar kernel (:mod:`repro.db.kernel`) a relation has
+*two* representations it moves between lazily:
+
+* the **row form** — the frozenset of Python tuples this docstring
+  describes, still the canonical value for equality, hashing and every
+  consumer that iterates tuples;
+* the **columnar form** — a :class:`~repro.db.kernel.RelationCodes`:
+  one sorted int64 row-code vector under a database's
+  :class:`~repro.db.kernel.SymbolTable`, cached per table via
+  :meth:`codes_on`.
+
+A relation built by the columnar executor (:meth:`_from_codes`) does not
+materialise its frozenset until someone actually asks for tuples; set
+operations and comparisons between two code-backed relations under the
+same symbol table run on the int vectors directly, so a whole fixpoint
+can converge without ever re-constructing a Python tuple.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, Tuple
+from typing import Any, Callable, Iterable, Iterator, Optional, Tuple
 
 Tup = Tuple[Any, ...]
 
@@ -41,6 +58,7 @@ class Relation:
         "arity",
         "_tuples",
         "_hash",
+        "_kernel_cache",
         "_index_cache",
         "_complement_cache",
         "_keyed_complement_cache",
@@ -59,7 +77,8 @@ class Relation:
         self.name = name
         self.arity = arity
         self._tuples = frozen
-        self._hash = hash((name, arity, frozen))
+        self._hash = None
+        self._kernel_cache = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -69,7 +88,7 @@ class Relation:
     def _from_frozenset(cls, name: str, arity: int, frozen: frozenset) -> "Relation":
         """Internal fast path: adopt an already-validated frozenset.
 
-        Set operations on ``_tuples`` (union/difference/evolve) produce
+        Set operations on tuple sets (union/difference/evolve) produce
         frozensets whose members are known-good tuples of the right
         arity; re-freezing and re-validating them through ``__init__``
         is the dominant cost of evolving big relations, so the derived
@@ -79,7 +98,26 @@ class Relation:
         self.name = name
         self.arity = arity
         self._tuples = frozen
-        self._hash = hash((name, arity, frozen))
+        self._hash = None
+        self._kernel_cache = None
+        return self
+
+    @classmethod
+    def _from_codes(cls, name: str, arity: int, codes) -> "Relation":
+        """Internal fast path: adopt a columnar payload, rows deferred.
+
+        ``codes`` is a :class:`~repro.db.kernel.RelationCodes` whose
+        vector *is* the tuple set; the frozenset is only decoded
+        (:attr:`tuples`) when a consumer genuinely needs Python tuples.
+        Comparisons, sizes and set algebra against other code-backed
+        relations under the same symbol table never do.
+        """
+        self = object.__new__(cls)
+        self.name = name
+        self.arity = arity
+        self._tuples = None
+        self._hash = None
+        self._kernel_cache = {id(codes.symbols): codes}
         return self
 
     @classmethod
@@ -99,28 +137,94 @@ class Relation:
         return cls(name, arity, product(tuple(universe), repeat=arity))
 
     # ------------------------------------------------------------------
+    # Columnar form
+    # ------------------------------------------------------------------
+
+    def codes_on(self, symbols):
+        """This relation as row codes under ``symbols``, cached.
+
+        Returns the cached :class:`~repro.db.kernel.RelationCodes` when
+        one is already held for this symbol table (and its field width
+        has not widened since), else encodes once and caches.  Returns
+        ``None`` when the arity cannot pack into a 64-bit code under the
+        table's current width — callers fall back to the row form.
+        """
+        cache = self._kernel_cache
+        if cache is None:
+            cache = self._kernel_cache = {}
+        rc = cache.get(id(symbols))
+        if rc is not None and rc.symbols is symbols and rc.valid():
+            return rc
+        if not symbols.fits(self.arity):
+            return None
+        from .kernel import RelationCodes
+
+        rc = RelationCodes.encode(symbols, self.arity, self.tuples)
+        if not symbols.fits(self.arity):
+            return None  # encoding widened the field width past 64 bits
+        cache[id(symbols)] = rc
+        return rc
+
+    def _any_codes(self):
+        """Any held codes payload (possibly of a widened generation)."""
+        cache = self._kernel_cache
+        if cache:
+            for rc in cache.values():
+                return rc
+        return None
+
+    def _codes_pair(self, other: "Relation"):
+        """Both relations' codes under a shared table, if already held.
+
+        Only consults payloads that are *already* cached on both sides —
+        this is a fast-path probe, never a reason to encode — and only
+        under the same symbol table at the same field width, so equal
+        code vectors mean equal tuple sets.
+        """
+        mine = self._kernel_cache
+        theirs = other._kernel_cache
+        if not mine or not theirs:
+            return None
+        for key, rc in mine.items():
+            oc = theirs.get(key)
+            if (
+                oc is not None
+                and oc.symbols is rc.symbols
+                and rc.shift == oc.shift
+            ):
+                return rc, oc
+        return None
+
+    # ------------------------------------------------------------------
     # Set-like protocol
     # ------------------------------------------------------------------
 
     @property
     def tuples(self) -> frozenset:
-        """The underlying frozenset of tuples."""
-        return self._tuples
+        """The underlying frozenset of tuples (decoded on first use)."""
+        frozen = self._tuples
+        if frozen is None:
+            frozen = self._any_codes().decode()
+            self._tuples = frozen
+        return frozen
 
     def index_on(self, columns) -> "HashIndex":
         """A hash index on the given key columns, cached on this relation.
 
         Because relations are immutable, an index built once is valid for
         the relation's whole lifetime; the cache (keyed by the column
-        tuple) lets every fixpoint round after the first reuse the indexes
-        of unchanged relations instead of rebuilding them.  Relations
-        derived by ``union``/``difference``/:meth:`evolve` *inherit*
-        their parent's materialised caches, patched with the tuple delta
+        tuple, normalised once at this boundary via
+        :func:`~repro.db.kernel.canon_columns`) lets every fixpoint round
+        after the first reuse the indexes of unchanged relations instead
+        of rebuilding them.  Relations derived by
+        ``union``/``difference``/:meth:`evolve` *inherit* their parent's
+        materialised caches, patched with the tuple delta
         (:meth:`_inherit_caches`), so they rarely build here at all.
         """
         from .index import HashIndex
+        from .kernel import canon_columns
 
-        cols = tuple(columns)
+        cols = canon_columns(columns)
         try:
             cache = self._index_cache
         except AttributeError:
@@ -136,13 +240,13 @@ class Relation:
 
         Called once, eagerly, by the derived constructors
         (``union``/``difference``/:meth:`evolve`): every index,
-        complement and keyed complement the parent actually materialised
-        is carried forward by patching it with the tuple delta —
-        ``O(|delta| + #buckets)`` per structure instead of a rescan of
-        the whole relation.  Eager transfer keeps no reference to the
-        parent, so long update streams (a materialized view's lifetime)
-        retain only the newest generation's caches — laziness here would
-        mean an unbounded parent chain.
+        complement, keyed complement *and columnar payload* the parent
+        actually materialised is carried forward by patching it with the
+        tuple delta — ``O(|delta| + #buckets)`` per structure instead of
+        a rescan of the whole relation.  Eager transfer keeps no
+        reference to the parent, so long update streams (a materialized
+        view's lifetime) retain only the newest generation's caches —
+        laziness here would mean an unbounded parent chain.
         """
         from .index import HashIndex
 
@@ -170,6 +274,25 @@ class Relation:
                 key: keyed.derived(self, added, removed)
                 for key, keyed in parent_keyed.items()
             }
+        parent_kernel = parent._kernel_cache
+        if parent_kernel:
+            from .kernel import RelationCodes
+
+            patched = {}
+            for key, rc in parent_kernel.items():
+                if not rc.valid():
+                    continue
+                sym = rc.symbols
+                add_rc = RelationCodes.encode(sym, self.arity, added)
+                rem_rc = RelationCodes.encode(sym, self.arity, removed)
+                if not rc.valid():
+                    continue  # the delta's fresh values widened the width
+                patched[key] = rc.evolved(add_rc, rem_rc)
+            if patched:
+                if self._kernel_cache:
+                    self._kernel_cache.update(patched)
+                else:
+                    self._kernel_cache = patched
         return self
 
     def complement_on(self, universe) -> "Relation":
@@ -194,7 +317,7 @@ class Relation:
         comp = cache.get(key)
         if comp is None:
             full = universe_product(key, self.arity)  # cached per (universe, arity)
-            comp = cache[key] = Relation("!" + self.name, self.arity, full - self._tuples)
+            comp = cache[key] = Relation("!" + self.name, self.arity, full - self.tuples)
         return comp
 
     def keyed_complement_on(self, universe, bound_columns, free_positions) -> "KeyedComplement":
@@ -211,9 +334,10 @@ class Relation:
         than recomputed — the ROADMAP's delta-aware keyed complement.
         """
         from .index import KeyedComplement
+        from .kernel import canon_columns
 
         uni = universe if isinstance(universe, frozenset) else frozenset(universe)
-        cache_key = (uni, tuple(bound_columns), tuple(free_positions))
+        cache_key = (uni, canon_columns(bound_columns), canon_columns(free_positions))
         try:
             cache = self._keyed_complement_cache
         except AttributeError:
@@ -222,37 +346,47 @@ class Relation:
         keyed = cache.get(cache_key)
         if keyed is None:
             keyed = cache[cache_key] = KeyedComplement(
-                self, uni, tuple(bound_columns), tuple(free_positions)
+                self, uni, cache_key[1], cache_key[2]
             )
         return keyed
 
     def __contains__(self, item: Tup) -> bool:
+        if self._tuples is None:
+            return self._any_codes().contains_tuple(tuple(item))
         return tuple(item) in self._tuples
 
     def __iter__(self) -> Iterator[Tup]:
-        return iter(self._tuples)
+        return iter(self.tuples)
 
     def __len__(self) -> int:
+        if self._tuples is None:
+            return len(self._any_codes())
         return len(self._tuples)
 
     def __bool__(self) -> bool:
-        return bool(self._tuples)
+        return len(self) > 0
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
             return NotImplemented
-        return (
-            self.name == other.name
-            and self.arity == other.arity
-            and self._tuples == other._tuples
-        )
+        if self.name != other.name or self.arity != other.arity:
+            return False
+        pair = self._codes_pair(other)
+        if pair is not None:
+            from .kernel import codes_equal
+
+            return codes_equal(pair[0].codes, pair[1].codes)
+        return self.tuples == other.tuples
 
     def __hash__(self) -> int:
-        return self._hash
+        h = self._hash
+        if h is None:
+            h = self._hash = hash((self.name, self.arity, self.tuples))
+        return h
 
     def __repr__(self) -> str:
-        shown = sorted(self._tuples, key=repr)[:8]
-        suffix = ", ..." if len(self._tuples) > 8 else ""
+        shown = sorted(self.tuples, key=repr)[:8]
+        suffix = ", ..." if len(self.tuples) > 8 else ""
         inner = ", ".join(repr(t) for t in shown)
         return "Relation(%s/%d, {%s%s})" % (self.name, self.arity, inner, suffix)
 
@@ -264,11 +398,20 @@ class Relation:
         """Return the same relation under a different symbol.
 
         Returns ``self`` when the name already matches, so round-to-round
-        renames of unchanged relations keep their cached indexes.
+        renames of unchanged relations keep their cached indexes.  A
+        code-backed relation renames without decoding — the payload is
+        shared (codes carry no name).
         """
         if name == self.name:
             return self
-        return Relation._from_frozenset(name, self.arity, self._tuples)
+        if self._tuples is None:
+            out = Relation._from_codes(name, self.arity, self._any_codes())
+            out._kernel_cache = dict(self._kernel_cache)
+            return out
+        out = Relation._from_frozenset(name, self.arity, self._tuples)
+        if self._kernel_cache:
+            out._kernel_cache = dict(self._kernel_cache)
+        return out
 
     def with_tuples(self, tuples: Iterable[Tup]) -> "Relation":
         """Return a relation with this signature but the given tuples."""
@@ -279,10 +422,11 @@ class Relation:
 
         This is the delta-update face of the value operations: the
         result inherits this relation's materialised indexes,
-        complements and keyed complements, patched with the effective
-        changes (:meth:`_inherit_caches`).  Tuples on either side that
-        do not match the arity raise; no-op deltas return ``self`` with
-        every cache intact.
+        complements, keyed complements and columnar payloads, patched
+        with the effective changes (:meth:`_inherit_caches`) — deltas
+        flow into the interned columns without a re-encode.  Tuples on
+        either side that do not match the arity raise; no-op deltas
+        return ``self`` with every cache intact.
         """
         arity = self.arity
 
@@ -297,38 +441,64 @@ class Relation:
                     )
             return tuples
 
-        ins = checked(inserts) - self._tuples
-        dels = checked(deletes) & self._tuples
+        ins = checked(inserts) - self.tuples
+        dels = checked(deletes) & self.tuples
         if not ins and not dels:
             return self
         out = Relation._from_frozenset(
-            self.name, arity, (self._tuples - dels) | ins
+            self.name, arity, (self.tuples - dels) | ins
         )
         return out._inherit_caches(self, ins, dels)
 
     def add(self, *tuples: Tup) -> "Relation":
         """Return this relation extended with the given tuples."""
-        return Relation(self.name, self.arity, self._tuples.union(tuples))
+        return Relation(self.name, self.arity, self.tuples.union(tuples))
 
     def union(self, other: "Relation") -> "Relation":
         """Set union; the operand must have the same arity.
 
         Returns ``self`` unchanged when the operand adds nothing, so a
         converged IDB relation keeps its cached indexes across the
-        remaining fixpoint rounds.
+        remaining fixpoint rounds.  When both operands are code-backed
+        under the same symbol table the union runs on the int vectors.
         """
         self._check_compatible(other, "union")
-        if not other._tuples or other._tuples <= self._tuples:
+        pair = self._codes_pair(other)
+        if pair is not None and self._row_caches_empty():
+            from .kernel import codes_union
+
+            mine, theirs = pair
+            merged = codes_union(mine.codes, theirs.codes)
+            if merged is mine.codes:
+                return self
+            from .kernel import RelationCodes
+
+            return Relation._from_codes(
+                self.name, self.arity, RelationCodes(mine.symbols, self.arity, merged)
+            )
+        if not other.tuples or other.tuples <= self.tuples:
             return self
         out = Relation._from_frozenset(
-            self.name, self.arity, self._tuples | other._tuples
+            self.name, self.arity, self.tuples | other.tuples
         )
-        return out._inherit_caches(self, other._tuples - self._tuples, frozenset())
+        return out._inherit_caches(self, other.tuples - self.tuples, frozenset())
 
     def intersection(self, other: "Relation") -> "Relation":
         """Set intersection; the operand must have the same arity."""
         self._check_compatible(other, "intersection")
-        return Relation(self.name, self.arity, self._tuples & other._tuples)
+        pair = self._codes_pair(other)
+        if pair is not None:
+            from .kernel import RelationCodes, codes_intersection
+
+            mine, theirs = pair
+            return Relation._from_codes(
+                self.name,
+                self.arity,
+                RelationCodes(
+                    mine.symbols, self.arity, codes_intersection(mine.codes, theirs.codes)
+                ),
+            )
+        return Relation(self.name, self.arity, self.tuples & other.tuples)
 
     def difference(self, other: "Relation") -> "Relation":
         """Set difference; the operand must have the same arity.
@@ -337,12 +507,38 @@ class Relation:
         operand removes nothing.
         """
         self._check_compatible(other, "difference")
-        if not other._tuples or self._tuples.isdisjoint(other._tuples):
+        pair = self._codes_pair(other)
+        if pair is not None and self._row_caches_empty():
+            from .kernel import RelationCodes, codes_difference
+
+            mine, theirs = pair
+            kept = codes_difference(mine.codes, theirs.codes)
+            if kept is mine.codes:
+                return self
+            return Relation._from_codes(
+                self.name, self.arity, RelationCodes(mine.symbols, self.arity, kept)
+            )
+        if not other.tuples or self.tuples.isdisjoint(other.tuples):
             return self
         out = Relation._from_frozenset(
-            self.name, self.arity, self._tuples - other._tuples
+            self.name, self.arity, self.tuples - other.tuples
         )
-        return out._inherit_caches(self, frozenset(), self._tuples & other._tuples)
+        return out._inherit_caches(self, frozenset(), self.tuples & other.tuples)
+
+    def _row_caches_empty(self) -> bool:
+        """Whether no row-form cache would be orphaned by a codes result.
+
+        The codes fast paths return relations that have *only* a
+        columnar payload; taking them when this relation holds
+        materialised indexes/complements would silently drop structures
+        a row-path consumer is about to need again, so those cases use
+        the inheriting tuple path instead.
+        """
+        return (
+            getattr(self, "_index_cache", None) is None
+            and getattr(self, "_complement_cache", None) is None
+            and getattr(self, "_keyed_complement_cache", None) is None
+        )
 
     def complement(self, universe: Iterable[Any]) -> "Relation":
         """Return ``universe**arity`` minus this relation."""
@@ -352,11 +548,16 @@ class Relation:
     def issubset(self, other: "Relation") -> bool:
         """True when every tuple of this relation is in ``other``."""
         self._check_compatible(other, "issubset")
-        return self._tuples <= other._tuples
+        pair = self._codes_pair(other)
+        if pair is not None:
+            from .kernel import codes_issubset
+
+            return codes_issubset(pair[0].codes, pair[1].codes)
+        return self.tuples <= other.tuples
 
     def filter(self, predicate: Callable[[Tup], bool]) -> "Relation":
         """Return the sub-relation of tuples satisfying ``predicate``."""
-        return Relation(self.name, self.arity, (t for t in self._tuples if predicate(t)))
+        return Relation(self.name, self.arity, (t for t in self.tuples if predicate(t)))
 
     def _check_compatible(self, other: "Relation", op: str) -> None:
         if self.arity != other.arity:

@@ -322,8 +322,21 @@ class ViewServer:
         )
 
     def stats(self, name: str) -> Dict[str, Any]:
-        """Serving counters for one view (the observability face)."""
+        """Serving counters for one view (the observability face).
+
+        ``kernel`` reports the columnar substrate the view runs on —
+        which backend is live and how many constants its database family
+        has interned (``None`` until something touches the kernel; the
+        peek never forces a table into existence).  ``cardinalities``
+        are the current per-predicate relation sizes; relations track
+        their length, so the whole block is O(#predicates), safe to
+        poll — no served tuple is ever counted, copied, or decoded.
+        """
+        from ..db import kernel
+
         state = self._state(name)
+        program = state.program
+        db = state.view.db
         return {
             "seq": state.seq,
             "submitted": state.submitted,
@@ -338,6 +351,20 @@ class ViewServer:
             "snapshot_seq": (
                 state.log.snapshot_seq if state.log is not None else None
             ),
+            "kernel": {
+                "backend": kernel.backend(),
+                "interned_constants": db.interned_size(),
+            },
+            "cardinalities": {
+                "edb": {
+                    p: (len(r) if (r := db.get(p)) is not None else 0)
+                    for p in sorted(program.edb_predicates)
+                },
+                "idb": {
+                    p: len(state.view.relation(p))
+                    for p in sorted(program.idb_predicates)
+                },
+            },
         }
 
     # ------------------------------------------------------------------

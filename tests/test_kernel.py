@@ -1,0 +1,220 @@
+"""Property tests for the interned columnar kernel (``repro.db.kernel``).
+
+The kernel's contract has four load-bearing faces, each tested here
+with Hypothesis over the shared strategies and — where the behaviour
+is backend-sensitive — under both the ``array`` baseline and the numpy
+fast path:
+
+* interning is a dense, stable bijection: ids are contiguous,
+  first-intern ordered, and ``extern`` inverts ``intern`` exactly;
+* a database's symbol table is *identity-shared* across its whole
+  derivation family: ``apply_delta`` streams — applied one by one or
+  fused through ``Delta.compose`` — keep the same table, so dense ids
+  survive update streams;
+* WAL replay over interned databases reconstructs exactly the contents
+  a live update stream produced, with the replayed family again
+  sharing one monotone table;
+* CSV persistence cannot tell a code-backed relation from a plain one:
+  dumping a relation adopted from the kernel equals dumping its
+  decoded twin byte for byte (dump == dump ∘ extern).
+
+The cache-key normalisation regression (``canon_columns`` at the
+kernel boundary) rides along at the bottom: every column-spec spelling
+must hit the same cached index/complement structure.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from array import array
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from strategies import databases_and_deltas, persistable_values, small_databases
+
+from repro import Database, Relation
+from repro.db import kernel
+from repro.db.csvio import dump_relation
+from repro.db.kernel import RelationCodes, SymbolTable, canon_columns
+from repro.materialize import Delta
+from repro.server.wal import DeltaLog
+
+
+BACKENDS = kernel.available_backends()
+
+
+@pytest.fixture(params=BACKENDS, scope="module")
+def backend_name(request):
+    """Run the module's tests once per usable kernel backend.
+
+    Module-scoped on purpose: Hypothesis forbids function-scoped
+    fixtures under ``@given`` (one fixture lifetime would span many
+    examples), and forcing the backend is idempotent process state that
+    a wider scope handles correctly.
+    """
+    previous = kernel.set_backend(request.param)
+    yield request.param
+    kernel.set_backend(previous)
+
+
+# ----------------------------------------------------------------------
+# Interning: dense ids, exact round trip
+# ----------------------------------------------------------------------
+
+
+@given(st.lists(persistable_values(), unique=True))
+def test_intern_assigns_dense_ids_and_extern_inverts(values):
+    sym = SymbolTable()
+    ids = [sym.intern(v) for v in values]
+    assert ids == list(range(len(values)))
+    assert [sym.extern(i) for i in ids] == values
+    # Re-interning is the identity on ids (monotone, never reassigns).
+    assert [sym.intern(v) for v in values] == ids
+    assert len(sym) == len(values)
+
+
+@given(st.lists(persistable_values(), unique=True, min_size=1))
+def test_encode_decode_round_trip_both_backends(backend_name, values):
+    sym = SymbolTable()
+    tuples = [(a, b) for a in values[:3] for b in values[:3]]
+    rc = RelationCodes.encode(sym, 2, tuples)
+    assert rc.decode() == frozenset(tuples)
+    for t in tuples:
+        assert rc.contains_tuple(t)
+    assert not rc.contains_tuple(("missing-value", "missing-value"))
+
+
+@given(small_databases())
+def test_relation_codes_on_database_table(backend_name, db):
+    """``codes_on`` under the database's own table decodes to the tuples."""
+    rel = db["E"]
+    rc = rel.codes_on(db.symbols())
+    assert rc is not None
+    assert rc.decode() == frozenset(rel)
+    assert len(rc) == len(rel)
+
+
+# ----------------------------------------------------------------------
+# Symbol-table identity under update streams and Delta.compose
+# ----------------------------------------------------------------------
+
+
+@given(databases_and_deltas())
+def test_symbol_table_shared_under_delta_streams_and_compose(backend_name, case):
+    db, deltas = case
+    sym = db.symbols()
+    before = {v: sym.intern(v) for v in db.sorted_universe()}
+
+    stepped = db
+    for d in deltas:
+        stepped = stepped.apply_delta(d, invalidate_plans=False)
+    composed = deltas[0]
+    for d in deltas[1:]:
+        composed = composed.compose(d)
+    fused = db.apply_delta(composed.normalize(db), invalidate_plans=False)
+
+    # One table for the whole family, however the stream was applied.
+    assert stepped.symbols() is sym
+    assert fused.symbols() is sym
+    # Monotone: every previously interned value keeps its dense id.
+    for v, i in before.items():
+        assert sym.intern(v) == i
+    # And the two application orders agree on contents.
+    assert stepped["E"] == fused["E"]
+
+
+# ----------------------------------------------------------------------
+# WAL replay over interned databases
+# ----------------------------------------------------------------------
+
+
+@given(databases_and_deltas())
+@settings(max_examples=15)
+def test_wal_replay_matches_live_stream_on_interned_dbs(backend_name, case):
+    db, deltas = case
+    live = db
+    with tempfile.TemporaryDirectory() as tmp:
+        log = DeltaLog.initialise(
+            Path(tmp) / "view",
+            view="v",
+            program_text="T(X) :- E(X, Y).",
+            semantics="stratified",
+            carrier=None,
+            db=db,
+        )
+        for seq, d in enumerate(deltas, start=1):
+            log.append(seq, d)
+            live = live.apply_delta(d, invalidate_plans=False)
+
+        recovered = log.recover()
+        replayed = recovered.db
+        base_sym = replayed.symbols()
+        for _, d in recovered.entries:
+            replayed = replayed.apply_delta(d, invalidate_plans=False)
+
+    assert replayed["E"] == live["E"]
+    assert replayed.universe == live.universe
+    # The replayed family shares one monotone table with its snapshot.
+    assert replayed.symbols() is base_sym
+    # Codes built under the replayed table decode to the live contents.
+    rc = replayed["E"].codes_on(replayed.symbols())
+    assert rc is not None and rc.decode() == frozenset(live["E"])
+
+
+# ----------------------------------------------------------------------
+# CSV persistence: dump == dump ∘ extern
+# ----------------------------------------------------------------------
+
+
+@given(small_databases())
+@settings(max_examples=20)
+def test_dump_of_code_backed_relation_equals_dump_of_decoded(backend_name, db):
+    rel = db["E"]
+    sym = db.symbols()
+    coded = Relation._from_codes("E", 2, RelationCodes.encode(sym, 2, list(rel)))
+    plain = Relation("E", 2, list(rel))
+    with tempfile.TemporaryDirectory() as tmp:
+        a, b = Path(tmp) / "coded.csv", Path(tmp) / "plain.csv"
+        dump_relation(coded, a)
+        dump_relation(plain, b)
+        assert a.read_bytes() == b.read_bytes()
+
+
+# ----------------------------------------------------------------------
+# Cache-key normalisation at the kernel boundary (regression)
+# ----------------------------------------------------------------------
+
+
+def test_canon_columns_normalises_every_spelling():
+    expected = (0, 1)
+    assert canon_columns([0, 1]) == expected
+    assert canon_columns((0, 1)) == expected
+    assert canon_columns(iter((0, 1))) == expected
+    assert canon_columns(array("q", [0, 1])) == expected
+    if kernel.has_numpy():
+        import numpy as np
+
+        out = canon_columns(np.array([0, 1], dtype=np.int64))
+        assert out == expected
+        assert all(type(c) is int for c in out)
+
+
+def test_index_and_complement_caches_hit_across_column_spellings(backend_name):
+    rel = Relation("R", 2, [(1, 2), (2, 3), (3, 1)])
+    idx = rel.index_on((0,))
+    assert rel.index_on([0]) is idx
+    assert rel.index_on(iter((0,))) is idx
+    assert rel.index_on(array("q", [0])) is idx
+    if kernel.has_numpy():
+        import numpy as np
+
+        assert rel.index_on(np.array([0])) is idx
+
+    uni = frozenset({1, 2, 3})
+    keyed = rel.keyed_complement_on(uni, (0,), (1,))
+    assert rel.keyed_complement_on(uni, [0], [1]) is keyed
+    assert rel.keyed_complement_on(set(uni), iter((0,)), iter((1,))) is keyed

@@ -157,6 +157,37 @@ class TestViewServer:
 
         _run(scenario())
 
+    def test_stats_surfaces_kernel_and_cardinalities(self):
+        async def scenario():
+            from repro.db import kernel
+
+            service = ViewServer()
+            service.register("tc", TC_PROGRAM, _edges((1, 2), (2, 3)))
+            stats = service.stats("tc")
+            assert stats["kernel"]["backend"] == kernel.backend()
+            # The intern-table size is a peek, never a forcing read:
+            # None until something touches the kernel, an int after.
+            assert stats["kernel"]["interned_constants"] is None or isinstance(
+                stats["kernel"]["interned_constants"], int
+            )
+            cards = stats["cardinalities"]
+            assert cards["edb"] == {"E": 2}
+            assert cards["idb"] == {"TC": 3}
+
+            await service.submit("tc", Delta(inserts={"E": [(3, 4)]}))
+            cards = service.stats("tc")["cardinalities"]
+            assert cards["edb"] == {"E": 3}
+            assert cards["idb"] == {"TC": 6}
+
+            # Forcing the symbol table makes the size observable — and
+            # it covers at least the live universe {1, 2, 3, 4}.
+            service.pin("tc").db.symbols()
+            size = service.stats("tc")["kernel"]["interned_constants"]
+            assert isinstance(size, int) and size >= 4
+            await service.close()
+
+        _run(scenario())
+
     def test_bad_delta_fails_its_submitter_alone(self):
         async def scenario():
             service = ViewServer()
