@@ -75,15 +75,23 @@ def _bench_meta() -> dict:
     A committed snapshot is only comparable to a rerun on the same
     footing — which kernel backend was live (``array`` fallback vs the
     numpy fast path changes the columnar timings severalfold), which
-    interpreter, how many cores.  Recording them in the artifact makes
-    a surprising gate verdict diagnosable from the file alone.
+    interpreter, how many cores, which *machine*.  Recording them in the
+    artifact makes a surprising gate verdict diagnosable from the file
+    alone; ``check`` prints both sides' meta blocks on failure.
     """
+    import datetime
+
     from ..db import kernel
 
     return {
         "kernel_backend": kernel.backend(),
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
+        "hostname": platform.node(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "monotonic_ns": time.monotonic_ns(),
     }
 
 
@@ -242,6 +250,11 @@ def run_check(argv) -> int:
         print("perf regression check FAILED (factor %.1fx, floor %.3fs):" % (factor, floor))
         for f in failures:
             print("  - %s" % f)
+        # Environment mismatches (kernel backend, host, interpreter) are
+        # the usual innocent explanation — print both sides so the
+        # verdict is diagnosable from the log alone.
+        print("baseline meta: %s" % json.dumps(baseline.get("meta", {}), sort_keys=True))
+        print("current  meta: %s" % json.dumps(current.get("meta", {}), sort_keys=True))
         return 1
     print(
         "perf regression check passed (factor %.1fx, floor %.3fs, %d experiments)"

@@ -9,7 +9,9 @@ Usage::
         [--semantics stratified|inflationary|wellfounded] [--batch]
     python -m repro serve [PROGRAM.dl] [--db DIR] [--state DIR]
         [--host H] [--port P] [--semantics S] [--tick-ms MS]
-        [--snapshot-every N]
+        [--snapshot-every N] [--log-level LEVEL]
+    python -m repro explain PROGRAM.dl --db DIR [--semantics auto|...]
+        [--profile] [--trace-out FILE] [--slow-ms MS]
 
 ``--db DIR`` points at a directory of headerless ``<relation>.csv`` files
 (one tuple per row); the schema is inferred from the program's EDB arities.
@@ -26,7 +28,16 @@ lines TCP service where clients POST deltas, query maintained results and
 subscribe to changeset streams.  With ``--state DIR`` every committed
 batch is written ahead to a CSV delta log and the server restarts by
 snapshot + WAL replay — starting ``serve`` again on a populated state
-directory recovers without ``PROGRAM.dl``/``--db``.
+directory recovers without ``PROGRAM.dl``/``--db``.  Startup, recovery
+and slow-op events go through stdlib ``logging`` (``--log-level``), and
+engine metrics are enabled so the ``metrics`` verb exposes them.
+
+``explain`` pretty-prints each rule's compiled plan (join order,
+semi-join prologue, planning-time estimates) together with the shared
+planner's observed statistics.  ``--profile`` additionally runs the
+program under span tracing and prints a phase-attributed time/row
+breakdown; ``--trace-out FILE`` writes the span forest as Chrome
+trace-event JSON (openable in Perfetto / ``chrome://tracing``).
 """
 
 from __future__ import annotations
@@ -134,6 +145,118 @@ def cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Print compiled rule plans; with ``--profile``, a phase breakdown.
+
+    The plain form shows, per rule, the store-compiled
+    :class:`~repro.core.planning.plan.RulePlan` (semi-join prologue,
+    join order, completion steps) and its planning-time cardinality
+    estimates, followed by the shared planner's observed statistics.
+    ``--profile`` evaluates the program under metrics + span tracing
+    and prints a per-phase time/row table attributing the evaluation
+    wall time to fixpoint phases (grounding, semi-naive rounds,
+    alternation steps, rule executions).
+    """
+    import json
+    import time
+
+    from .core.planning import PLAN_STORE
+    from .core.semantics import is_stratifiable
+    from .obs import (
+        REGISTRY,
+        TRACER,
+        aggregate,
+        disable_metrics,
+        enable_metrics,
+        export_chrome,
+        span_total,
+    )
+
+    program = _load_program(args.program, carrier=args.carrier)
+    db = _load_database(args.db, program)
+    semantics = args.semantics
+    if semantics == "auto":
+        semantics = "stratified" if is_stratifiable(program) else "wellfounded"
+    print(
+        "program %s: %d rules, %d EDB / %d IDB predicates, semantics=%s"
+        % (
+            args.program,
+            len(program.rules),
+            len(program.edb_predicates),
+            len(program.idb_predicates),
+            semantics,
+        )
+    )
+    print()
+    for rule in program.rules:
+        plan = PLAN_STORE.rule_plan(rule, db=db)
+        print(plan.describe())
+        if plan.est_cards:
+            print(
+                "  estimates: "
+                + ", ".join(
+                    "%s=%s" % (p, "?" if e == float("inf") else int(e))
+                    for p, e in plan.est_cards
+                )
+            )
+        print()
+
+    wall = None
+    if args.profile:
+        enable_metrics()
+        TRACER.start(slow_threshold=args.slow_ms / 1000.0 if args.slow_ms else None)
+        try:
+            started = time.perf_counter()
+            if semantics == "wellfounded":
+                well_founded_semantics(program, db)
+            else:
+                _ENGINES[semantics](program, db)
+            wall = time.perf_counter() - started
+        finally:
+            roots = TRACER.stop()
+            disable_metrics()
+        covered = span_total(roots)
+        print(
+            "profile: wall %.4fs, %.1f%% attributed to spans"
+            % (wall, 100.0 * covered / wall if wall else 0.0)
+        )
+        print(
+            "%-28s %7s %10s %10s %12s"
+            % ("phase", "count", "total s", "self s", "rows")
+        )
+        for stat in aggregate(roots):
+            print(
+                "%-28s %7d %10.4f %10.4f %12d"
+                % (stat.name, stat.count, stat.total, stat.self_time, stat.rows)
+            )
+        counters = [
+            (f.name, f.value)
+            for f in REGISTRY.families()
+            if f.kind == "counter" and not f.labelnames and f.value
+        ]
+        if counters:
+            print()
+            print("counters:")
+            for name, value in counters:
+                print("  %-42s %d" % (name, int(value)))
+        if args.trace_out:
+            Path(args.trace_out).write_text(export_chrome(roots))
+            print()
+            print("chrome trace written to %s (open in Perfetto)" % args.trace_out)
+
+    snapshot = PLAN_STORE.statistics.snapshot()
+    print()
+    print("observed planner statistics (shared store):")
+    if not snapshot["cardinalities"] and not snapshot["avg_matches"]:
+        print("  (none yet — run with --profile to collect)")
+    for pred, size in snapshot["cardinalities"].items():
+        print("  card  %-24s %d" % (pred, size))
+    for key, avg in snapshot["avg_matches"].items():
+        print("  join  %-24s %.3f matches/probe" % (key, avg))
+    print("  re-plans: %d" % snapshot["replans"])
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the live view server until interrupted (or told to shut down).
 
@@ -144,7 +267,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     the named view when recovery did not already produce it.
     """
     import asyncio
+    import logging
 
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+    )
     try:
         return asyncio.run(_serve(args))
     except KeyboardInterrupt:
@@ -152,9 +280,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 async def _serve(args: argparse.Namespace) -> int:
+    from .obs import enable_metrics
     from .server.net import TcpFrontend
     from .server.service import ViewServer
 
+    # Engine-side instruments flow into the process registry so the
+    # ``metrics`` verb reports fixpoint work alongside the always-on
+    # per-view serving series.
+    enable_metrics()
     service = ViewServer(
         state_dir=args.state,
         tick=args.tick_ms / 1000.0,
@@ -195,7 +328,7 @@ async def _serve(args: argparse.Namespace) -> int:
     frontend = TcpFrontend(service)
     host, port = await frontend.start(args.host, args.port)
     print("serving on %s:%d (newline-delimited JSON; op: register/delta/"
-          "query/subscribe/info/stats/shutdown)" % (host, port))
+          "query/subscribe/info/stats/metrics/shutdown)" % (host, port))
     sys.stdout.flush()
     try:
         await frontend.wait_stopped()
@@ -334,7 +467,46 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="cut a snapshot (pruning the WAL behind it) every N commits",
     )
+    serve.add_argument(
+        "--log-level",
+        default="info",
+        choices=["debug", "info", "warning", "error"],
+        help="stdlib logging level for startup/recovery/slow-op events",
+    )
     serve.set_defaults(fn=cmd_serve)
+
+    explain = sub.add_parser(
+        "explain",
+        help="print compiled rule plans; --profile adds a phase breakdown",
+    )
+    explain.add_argument("program", help="path to a .dl program file")
+    explain.add_argument("--db", required=True, help="directory of <name>.csv files")
+    explain.add_argument(
+        "--semantics",
+        choices=["auto"] + sorted(_ENGINES) + ["wellfounded"],
+        default="auto",
+        help="engine to profile under; 'auto' picks stratified when the "
+        "program is stratifiable, wellfounded otherwise",
+    )
+    explain.add_argument("--carrier", default=None, help="goal predicate")
+    explain.add_argument(
+        "--profile",
+        action="store_true",
+        help="evaluate under metrics + span tracing and print the "
+        "phase-attributed time/row breakdown",
+    )
+    explain.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the profile's span forest as Chrome trace-event JSON",
+    )
+    explain.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="log spans slower than this many milliseconds via logging",
+    )
+    explain.set_defaults(fn=cmd_explain)
 
     analyze = sub.add_parser("analyze", help="fixpoint existence/uniqueness/least")
     analyze.add_argument("program")

@@ -27,6 +27,7 @@ cached relation indexes are shared with the fixpoint engines.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass
 from functools import lru_cache
@@ -42,6 +43,7 @@ from .deltavariants import (
     new_name,
     old_name,
 )
+from ..obs import RECORDER, TRACER
 from .literals import Atom, Eq, Negation, Neq
 from .planning import PLAN_STORE, solve_plan
 from .program import Program
@@ -222,14 +224,22 @@ def ground_program(program: Program, db: Database) -> GroundProgram:
 
     Duplicate ground instances (same head and body) are collapsed.
     """
-    interp = db
-    seen: Set[GroundRule] = set()
-    ordered: List[GroundRule] = []
-    for rule in program.rules:
-        for g in ground_rule_instances(rule, program, interp):
-            if g not in seen:
-                seen.add(g)
-                ordered.append(g)
+    started = time.perf_counter()
+    with TRACER.span("ground") as sp:
+        interp = db
+        seen: Set[GroundRule] = set()
+        ordered: List[GroundRule] = []
+        for rule in program.rules:
+            for g in ground_rule_instances(rule, program, interp):
+                if g not in seen:
+                    seen.add(g)
+                    ordered.append(g)
+        if sp:
+            sp["rows_out"] = len(ordered)
+    if RECORDER.enabled:
+        RECORDER.observe(
+            "repro_engine_ground_seconds", time.perf_counter() - started
+        )
     return GroundProgram(program, db, ordered)
 
 
@@ -350,57 +360,65 @@ class LiveGroundProgram:
             self.db = new_db
             return frozenset(), frozenset()
 
-        aliases = self._aliases
-        change_rels: List[Relation] = []
-        for name in changed:
-            ins, dels = changes[name]
-            arity = self.db[name].arity
-            aliases[new_name(name)] = aliases[new_name(name)].evolve(ins, dels)
-            change_rels.append(Relation(ins_name(name), arity, ins))
-            change_rels.append(Relation(del_name(name), arity, dels))
-        interp = Database(
-            new_db.universe, list(aliases.values()) + change_rels, check=False
-        )
+        with TRACER.span("ground.patch") as sp:
+            aliases = self._aliases
+            change_rels: List[Relation] = []
+            for name in changed:
+                ins, dels = changes[name]
+                arity = self.db[name].arity
+                aliases[new_name(name)] = aliases[new_name(name)].evolve(ins, dels)
+                change_rels.append(Relation(ins_name(name), arity, ins))
+                change_rels.append(Relation(del_name(name), arity, dels))
+            interp = Database(
+                new_db.universe, list(aliases.values()) + change_rels, check=False
+            )
 
-        diff: Counter = Counter()
-        for rule, idb_positives, idb_negatives, variants_by_pred in self._rule_info:
-            for pred in changed:
-                for gained, lost in variants_by_pred.get(pred, ()):
-                    for sign, variant in ((+1, gained), (-1, lost)):
-                        # stats=None: alias/change-set sizes describe
-                        # deltas, not relations — they must not feed the
-                        # planner.
-                        subs = solve_plan(
-                            self._plans.plan(variant), interp, stats=None
-                        )
-                        for g in _instances(rule, idb_positives, idb_negatives, subs):
-                            diff[g] += sign
+            diff: Counter = Counter()
+            for rule, idb_positives, idb_negatives, variants_by_pred in self._rule_info:
+                for pred in changed:
+                    for gained, lost in variants_by_pred.get(pred, ()):
+                        for sign, variant in ((+1, gained), (-1, lost)):
+                            # stats=None: alias/change-set sizes describe
+                            # deltas, not relations — they must not feed the
+                            # planner.
+                            subs = solve_plan(
+                                self._plans.plan(variant), interp, stats=None
+                            )
+                            for g in _instances(
+                                rule, idb_positives, idb_negatives, subs
+                            ):
+                                diff[g] += sign
 
-        added: Set[GroundRule] = set()
-        removed: Set[GroundRule] = set()
-        counts = self._counts
-        for g, change in diff.items():
-            if not change:
-                continue
-            old = counts.get(g, 0)
-            new = old + change
-            if new < 0:
-                raise AssertionError(
-                    "ground-instance count of %s fell below zero (%d)" % (g, new)
-                )
-            if new == 0:
-                counts.pop(g, None)
-                if old:
-                    removed.add(g)
-            else:
-                counts[g] = new
-                if not old:
-                    added.add(g)
+            added: Set[GroundRule] = set()
+            removed: Set[GroundRule] = set()
+            counts = self._counts
+            for g, change in diff.items():
+                if not change:
+                    continue
+                old = counts.get(g, 0)
+                new = old + change
+                if new < 0:
+                    raise AssertionError(
+                        "ground-instance count of %s fell below zero (%d)" % (g, new)
+                    )
+                if new == 0:
+                    counts.pop(g, None)
+                    if old:
+                        removed.add(g)
+                else:
+                    counts[g] = new
+                    if not old:
+                        added.add(g)
 
-        # The next update's pre-change state is this update's post-change
-        # state: catch the @old aliases up by the same deltas.
-        for name in changed:
-            ins, dels = changes[name]
-            aliases[old_name(name)] = aliases[old_name(name)].evolve(ins, dels)
-        self.db = new_db
+            # The next update's pre-change state is this update's post-change
+            # state: catch the @old aliases up by the same deltas.
+            for name in changed:
+                ins, dels = changes[name]
+                aliases[old_name(name)] = aliases[old_name(name)].evolve(ins, dels)
+            self.db = new_db
+            if sp:
+                sp["changed"] = len(changed)
+                sp["rows_out"] = len(added) + len(removed)
+        if RECORDER.enabled:
+            RECORDER.inc("repro_ground_patches_total")
         return frozenset(added), frozenset(removed)

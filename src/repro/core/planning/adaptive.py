@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ...db.database import Database
+from ...obs import RECORDER, TRACER
 from ..program import Program
 from ..rules import Rule
 from .batch import execute_plan
@@ -185,6 +186,11 @@ class AdaptiveRulePlans:
                     factor=factor,
                 )
                 self.replans += 1
+                self.store.statistics.replans += 1
+                if RECORDER.enabled:
+                    RECORDER.inc("repro_engine_replans_total")
+                if TRACER.enabled:
+                    TRACER.event("replan", pred=plan.head_pred)
         if self.replans == replans_before:
             self._size_sig = sig
         else:

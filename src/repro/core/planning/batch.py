@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ...db.algebra import universe_product
 from ...db.database import Database
+from ...obs import RECORDER, TRACER
 from ..terms import Variable
 from . import colexec
 from .plan import (
@@ -419,7 +420,24 @@ def execute_plan(
     steady-state fixpoint rounds rebuild nothing).  Otherwise — and for
     any plan the columnar path declines mid-flight — the row executor
     below produces the identical set.
+
+    When either observability singleton is live the call is routed
+    through :func:`_execute_plan_observed`, which wraps it in a ``rule``
+    span and counts rule/kernel/row executions; the disabled path below
+    stays free of recorder calls.
     """
+    if RECORDER.enabled or TRACER.enabled:
+        return _execute_plan_observed(plan, interp, stats=stats, semijoin=semijoin)
+    return _execute_plan_fast(plan, interp, stats=stats, semijoin=semijoin)
+
+
+def _execute_plan_fast(
+    plan: RulePlan,
+    interp: Database,
+    stats: Optional[Statistics] = _DEFAULT_SINK,  # type: ignore[assignment]
+    semijoin: bool = True,
+    _observed: Optional[list] = None,
+) -> Set[Tuple]:
     if colexec.wants_plan(plan, interp):
         if stats is _DEFAULT_SINK:
             stats = DEFAULT_STATISTICS
@@ -427,10 +445,14 @@ def execute_plan(
             plan, interp, stats=stats, semijoin=semijoin
         )
         if result is not None:
+            if _observed is not None:
+                _observed.append("kernel")
             sym, head_codes = result
             arity = len(plan.head_cols)
             extern = sym.extern_code
             return {extern(c, arity) for c in head_codes.tolist()}
+    if _observed is not None:
+        _observed.append("row")
     table = solve_plan_table(plan, interp, stats=stats, semijoin=semijoin)
     if not table.rows:
         return set()
@@ -439,3 +461,28 @@ def execute_plan(
         tuple(payload if is_const else row[payload] for is_const, payload in head)
         for row in table.rows
     }
+
+
+def _execute_plan_observed(
+    plan: RulePlan,
+    interp: Database,
+    stats: Optional[Statistics] = _DEFAULT_SINK,  # type: ignore[assignment]
+    semijoin: bool = True,
+) -> Set[Tuple]:
+    """The observed twin of :func:`execute_plan`'s fast path."""
+    backend: list = []
+    with TRACER.span("rule") as sp:
+        out = _execute_plan_fast(
+            plan, interp, stats=stats, semijoin=semijoin, _observed=backend
+        )
+        if sp:
+            sp["pred"] = plan.head_pred
+            sp["rows_out"] = len(out)
+            sp["backend"] = backend[0] if backend else "row"
+    if RECORDER.enabled:
+        RECORDER.inc("repro_engine_rule_executions_total")
+        if backend and backend[0] == "kernel":
+            RECORDER.inc("repro_engine_kernel_executions_total")
+        else:
+            RECORDER.inc("repro_engine_row_executions_total")
+    return out

@@ -55,6 +55,7 @@ from ...db.kernel import (
     universe_ids,
     universe_product_codes,
 )
+from ...obs import RECORDER
 from .plan import (
     AntiJoin,
     BatchJoin,
@@ -399,6 +400,28 @@ def _semijoin_reduce_codes(
 
 
 def execute_plan_codes(
+    plan: RulePlan,
+    interp: Database,
+    stats=None,
+    semijoin: bool = True,
+):
+    """Run the plan columnar; counts lowered/declined when observed.
+
+    Thin metrics facade over :func:`_execute_plan_codes` — see there for
+    the contract.  Kept separate so the recorder guard stays out of the
+    (long) lowering body.
+    """
+    out = _execute_plan_codes(plan, interp, stats=stats, semijoin=semijoin)
+    if RECORDER.enabled:
+        RECORDER.inc(
+            "repro_kernel_lowered_total"
+            if out is not None
+            else "repro_kernel_declined_total"
+        )
+    return out
+
+
+def _execute_plan_codes(
     plan: RulePlan,
     interp: Database,
     stats=None,

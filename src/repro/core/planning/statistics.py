@@ -117,10 +117,11 @@ class Statistics:
     and benchmarks here do).
     """
 
-    __slots__ = ("cards", "_joins", "_tracked")
+    __slots__ = ("cards", "replans", "_joins", "_tracked")
 
     def __init__(self) -> None:
         self.cards: Dict[str, int] = {}
+        self.replans: int = 0
         self._joins: Dict[Tuple[str, Tuple[int, ...]], List[int]] = {}
         self._tracked: Dict[str, bool] = {}
 
@@ -187,9 +188,28 @@ class Statistics:
         """The ``(pred, key_columns)`` pairs with recorded selectivities."""
         return self._joins.keys()
 
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-safe view for the server's ``stats`` verb.
+
+        Join keys are tuples, so they are rendered as
+        ``"PRED[c0,c1]"`` strings mapping to the empirical mean matches
+        per probe.
+        """
+        joins = {
+            "%s[%s]" % (pred, ",".join(str(c) for c in cols)): matches / probes
+            for (pred, cols), (probes, matches) in sorted(self._joins.items())
+            if probes
+        }
+        return {
+            "cardinalities": dict(sorted(self.cards.items())),
+            "avg_matches": joins,
+            "replans": self.replans,
+        }
+
     def clear(self) -> None:
         """Forget every observation."""
         self.cards.clear()
+        self.replans = 0
         self._joins.clear()
         self._tracked.clear()
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ...db.database import Database
+from ...obs import RECORDER, TRACER
 from ..fixpoint import idb_equal, idb_union
 from ..operator import IDBMap, empty_idb, theta
 from ..planning import PLAN_STORE, ProgramPlan
@@ -67,7 +68,12 @@ def inflationary_semantics(
     trace: Optional[List[IDBMap]] = [dict(current)] if keep_trace else None
     rounds = 0
     while rounds < limit:
-        nxt = inflationary_step(program, db, current, plan=plan)
+        with TRACER.span("inflationary.round") as sp:
+            nxt = inflationary_step(program, db, current, plan=plan)
+            if sp:
+                sp["round"] = rounds + 1
+                sp["rows_out"] = sum(len(r) for r in nxt.values())
+                sp["replans"] = plan.replans
         if idb_equal(nxt, current):
             break
         rounds += 1
@@ -78,6 +84,8 @@ def inflationary_semantics(
         raise AssertionError(
             "inflationary iteration exceeded its theoretical bound %d" % limit
         )
+    if RECORDER.enabled:
+        RECORDER.inc("repro_engine_rounds_total", rounds)
     return EvaluationResult(
         program=program,
         db=db,

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ...db.database import Database
 from ...db.relation import Relation
+from ...obs import RECORDER, TRACER
 from ..literals import Atom
 from ..operator import empty_idb
 from ..planning import PLAN_STORE, execute_plan
@@ -106,28 +107,10 @@ def seminaive_least_fixpoint(
     trace = [dict(current)] if keep_trace else None
 
     # Round 1: rules without IDB body atoms seed the iteration.
-    interp = db.with_relations(current.values())
-    derived: Dict[str, set] = {p: set() for p in idb_preds}
-    for plan in base_plans:
-        derived[plan.head_pred] |= execute_plan(
-            plan, interp, stats=PLAN_STORE.statistics
-        )
-    delta = {
-        p: Relation(p, program.arity(p), derived[p] - current[p].tuples)
-        for p in idb_preds
-    }
-    rounds = 0
-    while any(delta[p] for p in idb_preds):
-        rounds += 1
-        current = {p: current[p].union(delta[p]) for p in idb_preds}
-        if keep_trace:
-            trace.append(dict(current))
-        interp = db.with_relations(
-            list(current.values())
-            + [delta[p].with_name(_delta_name(p)) for p in idb_preds]
-        )
-        derived = {p: set() for p in idb_preds}
-        for plan in adaptive_variants.refresh(interp):
+    with TRACER.span("seminaive.seed") as sp:
+        interp = db.with_relations(current.values())
+        derived: Dict[str, set] = {p: set() for p in idb_preds}
+        for plan in base_plans:
             derived[plan.head_pred] |= execute_plan(
                 plan, interp, stats=PLAN_STORE.statistics
             )
@@ -135,10 +118,37 @@ def seminaive_least_fixpoint(
             p: Relation(p, program.arity(p), derived[p] - current[p].tuples)
             for p in idb_preds
         }
+        if sp:
+            sp["rows_out"] = sum(len(delta[p]) for p in idb_preds)
+    rounds = 0
+    while any(delta[p] for p in idb_preds):
+        rounds += 1
+        with TRACER.span("seminaive.round") as sp:
+            current = {p: current[p].union(delta[p]) for p in idb_preds}
+            if keep_trace:
+                trace.append(dict(current))
+            interp = db.with_relations(
+                list(current.values())
+                + [delta[p].with_name(_delta_name(p)) for p in idb_preds]
+            )
+            derived = {p: set() for p in idb_preds}
+            for plan in adaptive_variants.refresh(interp):
+                derived[plan.head_pred] |= execute_plan(
+                    plan, interp, stats=PLAN_STORE.statistics
+                )
+            delta = {
+                p: Relation(p, program.arity(p), derived[p] - current[p].tuples)
+                for p in idb_preds
+            }
+            if sp:
+                sp["round"] = rounds
+                sp["rows_out"] = sum(len(delta[p]) for p in idb_preds)
         if rounds > limit:
             raise SemanticsError(
                 "no convergence after %d rounds; max_rounds too small?" % limit
             )
+    if RECORDER.enabled:
+        RECORDER.inc("repro_engine_rounds_total", rounds)
     return EvaluationResult(
         program=program,
         db=db,

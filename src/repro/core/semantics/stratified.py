@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 from ...analysis.dependency import DependencyGraph
 from ...db.database import Database
 from ...db.relation import Relation
+from ...obs import RECORDER, TRACER
 from ..operator import IDBMap
 from ..program import Program
 from .base import EvaluationResult, SemanticsError
@@ -95,20 +96,28 @@ def stratified_semantics(
     final: IDBMap = {}
     known_sizes: Dict[str, int] = {}
     total_rounds = 0
-    for layer in strata:
-        rules = [r for r in program.rules if r.head.pred in layer]
-        sub = Program(rules)
-        result = seminaive_least_fixpoint(
-            sub,
-            working,
-            keep_trace=keep_trace,
-            known_sizes=known_sizes or None,
-        )
-        for pred in layer:
-            final[pred] = result.idb[pred]
-            known_sizes[pred] = len(result.idb[pred])
-        working = working.with_relations(result.idb.values())
-        total_rounds += result.rounds
+    for index, layer in enumerate(strata):
+        with TRACER.span("stratum") as sp:
+            rules = [r for r in program.rules if r.head.pred in layer]
+            sub = Program(rules)
+            result = seminaive_least_fixpoint(
+                sub,
+                working,
+                keep_trace=keep_trace,
+                known_sizes=known_sizes or None,
+            )
+            for pred in layer:
+                final[pred] = result.idb[pred]
+                known_sizes[pred] = len(result.idb[pred])
+            working = working.with_relations(result.idb.values())
+            total_rounds += result.rounds
+            if sp:
+                sp["stratum"] = index
+                sp["preds"] = ", ".join(sorted(layer))
+                sp["rounds"] = result.rounds
+                sp["rows_out"] = sum(len(result.idb[p]) for p in layer)
+    if RECORDER.enabled:
+        RECORDER.inc("repro_engine_strata_total", len(strata))
     return StratifiedResult(
         program=program,
         db=db,

@@ -34,6 +34,7 @@ from typing import Dict, FrozenSet, Optional, Set
 
 from ...db.database import Database
 from ...db.relation import Relation
+from ...obs import RECORDER, TRACER
 from ..grounding import GroundAtom, GroundProgram, ground_program
 from ..operator import IDBMap
 from ..program import Program
@@ -116,17 +117,31 @@ def well_founded_semantics(
     A pre-computed :class:`GroundProgram` may be supplied to share grounding
     work across analyses.
     """
-    gp = ground if ground is not None else ground_program(program, db)
-    true: Set[GroundAtom] = set()
-    rounds = 0
-    while True:
-        rounds += 1
-        overestimate = _least_model_of_reduct(gp, true)
-        next_true = _least_model_of_reduct(gp, overestimate)
-        if next_true == true:
-            break
-        true = next_true
-    possible = _least_model_of_reduct(gp, true)
+    with TRACER.span("wellfounded") as root:
+        gp = ground if ground is not None else ground_program(program, db)
+        true: Set[GroundAtom] = set()
+        rounds = 0
+        while True:
+            rounds += 1
+            with TRACER.span("alternation.step") as sp:
+                overestimate = _least_model_of_reduct(gp, true)
+                next_true = _least_model_of_reduct(gp, overestimate)
+                if sp:
+                    sp["step"] = rounds
+                    sp["possible"] = len(overestimate)
+                    sp["rows_out"] = len(next_true)
+            if next_true == true:
+                break
+            true = next_true
+        with TRACER.span("alternation.possible") as sp:
+            possible = _least_model_of_reduct(gp, true)
+            if sp:
+                sp["rows_out"] = len(possible)
+        if root:
+            root["rounds"] = rounds
+            root["ground_rules"] = len(gp)
+        if RECORDER.enabled:
+            RECORDER.inc("repro_wf_alternation_steps_total", 2 * rounds + 1)
     return WellFoundedResult(
         program=program,
         db=db,

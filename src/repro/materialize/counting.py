@@ -30,6 +30,7 @@ from typing import Dict, FrozenSet, List, Tuple
 from ..core.planning.batch import solve_plan_table
 from ..core.rules import Rule
 from ..db.database import Database
+from ..obs import TRACER
 from .delta import Tup
 from .variants import (
     PlanCache,
@@ -120,12 +121,16 @@ class CountingState:
         ``(inserted, deleted)`` tuple sets of the maintained predicate.
         """
         diff = Counter()
-        for rule in self.rules:
-            for position in changeable_positions(rule, changed):
-                gained = delta_variant(rule, position, gained=True)
-                lost = delta_variant(rule, position, gained=False)
-                self._accumulate(rule, gained, interp, diff, +1)
-                self._accumulate(rule, lost, interp, diff, -1)
+        with TRACER.span("counting.variants") as sp:
+            for rule in self.rules:
+                for position in changeable_positions(rule, changed):
+                    gained = delta_variant(rule, position, gained=True)
+                    lost = delta_variant(rule, position, gained=False)
+                    self._accumulate(rule, gained, interp, diff, +1)
+                    self._accumulate(rule, lost, interp, diff, -1)
+            if sp:
+                sp["pred"] = self.pred
+                sp["rows_out"] = len(diff)
         if not diff:
             return frozenset(), frozenset()
         counts = self.counts

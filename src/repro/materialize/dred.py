@@ -41,6 +41,7 @@ from ..core.planning.batch import execute_plan
 from ..core.rules import Rule
 from ..db.database import Database
 from ..db.relation import Relation
+from ..obs import TRACER
 from .delta import Tup
 from .variants import del_name, ins_name, new_name, old_name, PlanCache
 
@@ -310,7 +311,12 @@ class RecursiveState:
             for rule in self.rules
         )
         if killing:
-            over = self._over_delete(current, aliases, base_changes, universe, limit)
+            with TRACER.span("dred.overdelete") as sp:
+                over = self._over_delete(
+                    current, aliases, base_changes, universe, limit
+                )
+                if sp:
+                    sp["rows_out"] = sum(len(s) for s in over.values())
         else:
             over = {p: set() for p in self.preds}
         rederiving = any(over.values())
@@ -318,9 +324,12 @@ class RecursiveState:
             p: current[p].difference(Relation(p, self.preds[p], over[p]))
             for p in self.preds
         }
-        final = self._refixpoint(
-            surviving, aliases, rederiving, base_changes, universe, limit
-        )
+        with TRACER.span("dred.rederive") as sp:
+            final = self._refixpoint(
+                surviving, aliases, rederiving, base_changes, universe, limit
+            )
+            if sp:
+                sp["rows_out"] = sum(len(r) for r in final.values())
         changes: Dict[str, ChangePair] = {}
         for p in self.preds:
             before = current[p].tuples

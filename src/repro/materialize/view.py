@@ -39,6 +39,7 @@ API, still producing a changeset):
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 from typing import Dict, FrozenSet, Iterable, List, Tuple, Union
 
@@ -53,6 +54,7 @@ from ..core.semantics.stratified import StratifiedResult, stratified_semantics
 from ..core.semantics.wellfounded import WellFoundedResult
 from ..db.database import Database
 from ..db.relation import Relation
+from ..obs import RECORDER, TRACER
 from .counting import CountingState
 from .delta import Delta, Tup
 from .dred import DELETE_FRONTIER, INSERT_FRONTIER, RecursiveState
@@ -411,6 +413,28 @@ class MaterializedView:
         return changeset
 
     def _apply(self, delta: Delta, record_undo: bool) -> ChangeSet:
+        if not (RECORDER.enabled or TRACER.enabled):
+            return self._apply_inner(delta, record_undo)
+        started = time.perf_counter()
+        recomputed_before = self.recomputes
+        with TRACER.span("view.apply") as sp:
+            changeset = self._apply_inner(delta, record_undo)
+            if sp:
+                sp["semantics"] = self.semantics
+                sp["delta"] = len(delta)
+                sp["rows_out"] = len(changeset)
+                sp["recomputed"] = self.recomputes > recomputed_before
+        if RECORDER.enabled:
+            RECORDER.inc("repro_view_applies_total")
+            if self.recomputes > recomputed_before:
+                RECORDER.inc("repro_view_recomputes_total")
+            RECORDER.observe(
+                "repro_view_apply_seconds", time.perf_counter() - started
+            )
+            RECORDER.observe("repro_maint_delta_size", len(delta))
+        return changeset
+
+    def _apply_inner(self, delta: Delta, record_undo: bool) -> ChangeSet:
         self._validate(delta)
         effective = delta.normalize(self._db)
         if effective.is_empty():
@@ -608,39 +632,51 @@ class MaterializedView:
             )
             if not (component.base_preds & changed_below):
                 continue
-            if component.recursive:
-                current = {p: idb[p] for p in component.preds}
-                base_changes = {
-                    n: changes[n]
-                    for n in component.base_preds & changed_below
-                }
-                aliases = dict(self._aliases)
-                aliases.update(change_rels)
-                final, comp_changes = component.state.apply(
-                    current, aliases, base_changes, universe
-                )
-                for pred, (ins, dels) in comp_changes.items():
-                    idb[pred] = final[pred].with_name(pred)
+            with TRACER.span("maint.component") as sp:
+                if sp:
+                    sp["preds"] = ", ".join(sorted(component.preds))
+                    sp["backend"] = (
+                        "dred" if component.recursive else "counting"
+                    )
+                if component.recursive:
+                    current = {p: idb[p] for p in component.preds}
+                    base_changes = {
+                        n: changes[n]
+                        for n in component.base_preds & changed_below
+                    }
+                    aliases = dict(self._aliases)
+                    aliases.update(change_rels)
+                    final, comp_changes = component.state.apply(
+                        current, aliases, base_changes, universe
+                    )
+                    moved = 0
+                    for pred, (ins, dels) in comp_changes.items():
+                        idb[pred] = final[pred].with_name(pred)
+                        if ins or dels:
+                            moved += len(ins) + len(dels)
+                            publish(pred, ins, dels)
+                    if sp:
+                        sp["rows_out"] = moved
+                else:
+                    interp = Database(
+                        universe,
+                        list(self._aliases.values()) + list(change_rels.values()),
+                        check=False,
+                    )
+                    ins, dels = component.state.apply(interp, changed_below)
                     if ins or dels:
+                        pred = component.state.pred
+                        if new_name(pred) in self._aliases:
+                            idb[pred] = idb[pred].evolve(ins, dels)
+                        else:
+                            # Head-only predicate: nothing reads its relation
+                            # during maintenance (the counting state is the
+                            # authority), so defer the — possibly huge —
+                            # relation rebuild until ``result`` is read.
+                            self._defer(pred, ins, dels)
                         publish(pred, ins, dels)
-            else:
-                interp = Database(
-                    universe,
-                    list(self._aliases.values()) + list(change_rels.values()),
-                    check=False,
-                )
-                ins, dels = component.state.apply(interp, changed_below)
-                if ins or dels:
-                    pred = component.state.pred
-                    if new_name(pred) in self._aliases:
-                        idb[pred] = idb[pred].evolve(ins, dels)
-                    else:
-                        # Head-only predicate: nothing reads its relation
-                        # during maintenance (the counting state is the
-                        # authority), so defer the — possibly huge —
-                        # relation rebuild until ``result`` is read.
-                        self._defer(pred, ins, dels)
-                    publish(pred, ins, dels)
+                    if sp:
+                        sp["rows_out"] = len(ins) + len(dels)
 
         # The next update's pre-change state is this update's post-change
         # state: catch the @old aliases up by the same deltas.

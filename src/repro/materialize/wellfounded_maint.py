@@ -48,6 +48,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple
 from ..core.grounding import GroundAtom, GroundRule, LiveGroundProgram
 from ..core.program import Program
 from ..db.database import Database
+from ..obs import RECORDER, TRACER
 from .delta import Tup
 
 ChangePair = Tuple[FrozenSet[Tup], FrozenSet[Tup]]
@@ -358,30 +359,51 @@ class AlternatingState:
         added, removed = self.live.apply(new_db, changes)
         if not added and not removed:
             return False
-        self.index.update(added, removed)
-        prev_ins: FrozenSet[GroundAtom] = frozenset()
-        prev_dels: FrozenSet[GroundAtom] = frozenset()
-        moved = False
-        for layer in self.layers:
-            prev_ins, prev_dels = layer.update(
-                self.index, added, removed, prev_ins, prev_dels
-            )
-            moved = moved or bool(prev_ins or prev_dels)
-        if not moved:
-            # The layers were minimal (first convergence witness at the
-            # end) and none of their values changed, so they still are:
-            # no trim or extension can apply.
-            return False
-        # Restore the convergence invariant.  The maintained layers are
-        # exactly the alternation sequence of the *new* input, so the
-        # T-sublayers are monotone and the first convergence witness is
-        # the canonical length; anything beyond it is a stale tail.
-        for count in range(2, len(self.layers) + 1, 2):
-            if self._converged_at(count):
-                del self.layers[count:]
-                return True
-        # The alternation got longer: recompute the missing tail layers
-        # from scratch — the honest, localised fallback.
-        self.extensions += 1
-        self._extend_until_converged()
+        with TRACER.span("wf.apply") as root:
+            if root:
+                root["ground_added"] = len(added)
+                root["ground_removed"] = len(removed)
+            self.index.update(added, removed)
+            prev_ins: FrozenSet[GroundAtom] = frozenset()
+            prev_dels: FrozenSet[GroundAtom] = frozenset()
+            moved = False
+            tracing = TRACER.enabled
+            for position, layer in enumerate(self.layers):
+                if tracing:
+                    with TRACER.span("wf.layer") as sp:
+                        prev_ins, prev_dels = layer.update(
+                            self.index, added, removed, prev_ins, prev_dels
+                        )
+                        if sp:
+                            sp["layer"] = position
+                            sp["rows_out"] = len(prev_ins) + len(prev_dels)
+                else:
+                    prev_ins, prev_dels = layer.update(
+                        self.index, added, removed, prev_ins, prev_dels
+                    )
+                moved = moved or bool(prev_ins or prev_dels)
+            if RECORDER.enabled:
+                RECORDER.inc("repro_wf_layer_updates_total", len(self.layers))
+            if not moved:
+                # The layers were minimal (first convergence witness at the
+                # end) and none of their values changed, so they still are:
+                # no trim or extension can apply.
+                return False
+            # Restore the convergence invariant.  The maintained layers are
+            # exactly the alternation sequence of the *new* input, so the
+            # T-sublayers are monotone and the first convergence witness is
+            # the canonical length; anything beyond it is a stale tail.
+            for count in range(2, len(self.layers) + 1, 2):
+                if self._converged_at(count):
+                    del self.layers[count:]
+                    return True
+            # The alternation got longer: recompute the missing tail layers
+            # from scratch — the honest, localised fallback.
+            self.extensions += 1
+            if RECORDER.enabled:
+                RECORDER.inc("repro_wf_extensions_total")
+            with TRACER.span("wf.extend") as sp:
+                self._extend_until_converged()
+                if sp:
+                    sp["layers"] = len(self.layers)
         return True

@@ -1,0 +1,81 @@
+"""Engine-wide observability: metrics, span tracing, slow-op logging.
+
+Zero dependencies; two module-level singletons both **off by default**
+so the instrumented hot paths cost one attribute check when nobody is
+watching:
+
+* :data:`RECORDER` (:mod:`repro.obs.metrics`) — counters, gauges and
+  fixed-bucket histograms behind a no-op facade; :func:`enable_metrics`
+  routes it into the process-wide :data:`REGISTRY`, whose
+  :meth:`~repro.obs.metrics.MetricsRegistry.exposition` renders the
+  Prometheus text format the server's ``metrics`` verb returns.
+* :data:`TRACER` (:mod:`repro.obs.trace`) — per-stratum / per-rule /
+  per-round / per-alternation-layer span trees, exportable as Chrome
+  trace-event JSON (Perfetto) and aggregable into the
+  ``explain --profile`` phase breakdown; spans over the tracer's
+  ``slow_threshold`` are logged via stdlib ``logging``.
+
+The server-side per-view series (commit latency, batch fold sizes, WAL
+append/snapshot durations, queue depth, recovery replays) are registered
+directly against :data:`REGISTRY` by :mod:`repro.server.service` and
+:mod:`repro.server.wal`, so the ``metrics`` verb always has data even
+when the engine-side recorder is off.
+"""
+
+from .metrics import (
+    INSTRUMENTS,
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Family,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RECORDER,
+    REGISTRY,
+    Recorder,
+    disable_metrics,
+    enable_metrics,
+)
+from .trace import (
+    NULL_SPAN,
+    PhaseStat,
+    Span,
+    TRACER,
+    Tracer,
+    aggregate,
+    chrome_events,
+    export_chrome,
+    import_chrome,
+    span,
+    span_total,
+    walk,
+)
+
+__all__ = [
+    "INSTRUMENTS",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "Counter",
+    "Family",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RECORDER",
+    "REGISTRY",
+    "Recorder",
+    "disable_metrics",
+    "enable_metrics",
+    "NULL_SPAN",
+    "PhaseStat",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "aggregate",
+    "chrome_events",
+    "export_chrome",
+    "import_chrome",
+    "span",
+    "span_total",
+    "walk",
+]

@@ -10,9 +10,16 @@ field::
     {"op": "delta", "view": ..., "inserts": {...}, "deletes": {...}}
     {"op": "query", "view": ..., "predicate": ..., "undefined": false}
     {"op": "info" | "stats", "view": ...}
+    {"op": "metrics"}
     {"op": "subscribe", "view": ...}
     {"op": "ping"}
     {"op": "shutdown"}
+
+``metrics`` returns the process-wide registry rendered as Prometheus
+text exposition (``{"ok": true, "metrics": "..."}``) — per-view commit
+latency histograms, batch fold sizes, WAL append/snapshot durations,
+queue depth, subscriber lag and recovery replay counts, plus whatever
+engine-side series the recorder has emitted.
 
 Every response carries ``"ok"``; failures are
 ``{"ok": false, "error": "..."}`` — a malformed request is a clean error
@@ -161,7 +168,9 @@ class TcpFrontend:
                 }
             if op == "stats":
                 stats = self.service.stats(self._view_name(request))
-                return {"ok": True, "stats": stats}
+                return {"ok": True, "stats": protocol.encode_stats(stats)}
+            if op == "metrics":
+                return {"ok": True, "metrics": self.service.metrics()}
             if op == "shutdown":
                 return {"ok": True, "stopping": True}
             return _error("unknown op %r" % (op,))
@@ -360,6 +369,11 @@ class Client:
         return await self.request(
             "query", view=view, predicate=predicate, undefined=undefined
         )
+
+    async def metrics(self) -> str:
+        """The server's Prometheus text exposition."""
+        response = await self.request("metrics")
+        return response["metrics"]
 
     async def subscribe(self, view: str) -> AsyncIterator[Tuple[int, ChangeSet]]:
         """Turn this connection into an event stream (see the module doc)."""

@@ -142,6 +142,32 @@ def decode_changeset(obj: Mapping[str, Any]) -> ChangeSet:
 
 
 # ----------------------------------------------------------------------
+# Statistics / introspection payloads
+# ----------------------------------------------------------------------
+
+
+def encode_stats(value: Any) -> Any:
+    """An introspection payload (``stats`` verb) as a JSON-safe value.
+
+    Unlike the tuple codecs above this is *lossy by design*: stats
+    blocks mix engine values with counters, floats, Nones, tuples and
+    sets (planner join keys, recent-changes digests), and a reader wants
+    numbers-or-strings, not a type error.  Mappings and sequences recur;
+    tuples become arrays; sets become sorted arrays; anything else
+    non-JSON is rendered with ``repr``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): encode_stats(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_stats(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((encode_stats(v) for v in value), key=repr)
+    return repr(value)
+
+
+# ----------------------------------------------------------------------
 # Database
 # ----------------------------------------------------------------------
 

@@ -32,21 +32,81 @@ and gives each one the serving discipline the ROADMAP asks for:
 from __future__ import annotations
 
 import asyncio
+import logging
+import time
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..core.parser import parse_program
+from ..core.planning import PLAN_STORE
 from ..core.program import Program
 from ..core.validation import check_database
 from ..db.database import Database
 from ..db.relation import Relation
 from ..materialize.delta import Delta
 from ..materialize.view import SEMANTICS, ChangeSet, MaterializedView
+from ..obs import LATENCY_BUCKETS, REGISTRY, SIZE_BUCKETS
 from .wal import DeltaLog
 
+logger = logging.getLogger("repro.server")
+
 _SHUTDOWN = object()
+
+# Per-view serving series, registered on the process-wide registry at
+# import time so the ``metrics`` verb exposes the families (and their
+# HELP/TYPE headers) before the first commit.  These are always-on —
+# one dict hit and a locked increment per *commit*, not per tuple — so
+# scraping works without enabling the engine-side recorder.
+_SUBMITTED = REGISTRY.counter(
+    "repro_server_submitted_total",
+    "Deltas submitted (accepted into the writer queue).",
+    labelnames=("view",),
+)
+_COMMITS = REGISTRY.counter(
+    "repro_server_commits_total",
+    "Batches committed (logged, applied, acknowledged).",
+    labelnames=("view",),
+)
+_COMMIT_SECONDS = REGISTRY.histogram(
+    "repro_server_commit_seconds",
+    "Commit latency: WAL append + one maintenance pass.",
+    labelnames=("view",),
+    buckets=LATENCY_BUCKETS,
+)
+_BATCH_SIZE = REGISTRY.histogram(
+    "repro_server_batch_size",
+    "Deltas folded into one committed batch.",
+    labelnames=("view",),
+    buckets=SIZE_BUCKETS,
+)
+_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_server_queue_depth",
+    "Writer-queue depth (refreshed per commit and per scrape).",
+    labelnames=("view",),
+)
+_SUBSCRIBERS = REGISTRY.gauge(
+    "repro_server_subscribers",
+    "Live subscriptions.",
+    labelnames=("view",),
+)
+_SUBSCRIBER_LAG = REGISTRY.gauge(
+    "repro_server_subscriber_lag",
+    "Most undelivered events across a view's subscribers.",
+    labelnames=("view",),
+)
+_RECOVERY_REPLAYED = REGISTRY.counter(
+    "repro_server_recovery_replayed_total",
+    "WAL entries replayed while recovering a view.",
+    labelnames=("view",),
+)
+_RECOVERY_SECONDS = REGISTRY.histogram(
+    "repro_server_recovery_seconds",
+    "Recovery wall time: snapshot load + WAL replay + refixpoint.",
+    labelnames=("view",),
+    buckets=LATENCY_BUCKETS,
+)
 
 _RECENT_WINDOW = 256
 """How many committed changesets the per-view recent-events window keeps
@@ -204,6 +264,7 @@ class ViewServer:
         then apply the WAL entries after it — each one a committed
         batch — through the ordinary maintenance path.
         """
+        started = time.perf_counter()
         recovered = []
         if self.state_dir is not None and self.state_dir.is_dir():
             for child in sorted(self.state_dir.iterdir()):
@@ -211,15 +272,38 @@ class ViewServer:
                     state = self._recover(child)
                     self._attach(state)
                     recovered.append(self.info(state.name))
+        if recovered:
+            logger.info(
+                "recovery complete: %d view(s) in %.3fs: %s",
+                len(recovered),
+                time.perf_counter() - started,
+                ", ".join(info.name for info in recovered),
+            )
         return recovered
 
     def _recover(self, directory: Path) -> _ViewState:
+        started = time.perf_counter()
         log = DeltaLog(directory)
         rec = log.recover()
         program = parse_program(rec.program_text, carrier=rec.carrier)
         view = MaterializedView(program, rec.db, semantics=rec.semantics)
+        replayed = 0
         for _seq, delta in rec.entries:
             view.apply(delta)
+            replayed += 1
+        elapsed = time.perf_counter() - started
+        _RECOVERY_REPLAYED.labels(rec.view).inc(replayed)
+        _RECOVERY_SECONDS.labels(rec.view).observe(elapsed)
+        logger.info(
+            "recovered view %r (%s): snapshot at seq %d, %d WAL entries "
+            "replayed, last seq %d, %.3fs",
+            rec.view,
+            rec.semantics,
+            log.snapshot_seq,
+            replayed,
+            rec.last_seq,
+            elapsed,
+        )
         return _ViewState(
             name=rec.view,
             program=program,
@@ -271,6 +355,13 @@ class ViewServer:
             log=log,
         )
         self._attach(state)
+        logger.info(
+            "registered view %r: %s semantics, %d rules, durable=%s",
+            name,
+            semantics,
+            len(program.rules),
+            log is not None,
+        )
         return self.info(name)
 
     def _attach(self, state: _ViewState) -> None:
@@ -331,6 +422,9 @@ class ViewServer:
         are the current per-predicate relation sizes; relations track
         their length, so the whole block is O(#predicates), safe to
         poll — no served tuple is ever counted, copied, or decoded.
+        ``planner`` surfaces the shared plan store's observed feedback:
+        per-predicate observed cardinalities, empirical join
+        selectivities, and how many adaptive re-plans have fired.
         """
         from ..db import kernel
 
@@ -365,7 +459,23 @@ class ViewServer:
                     for p in sorted(program.idb_predicates)
                 },
             },
+            "planner": PLAN_STORE.statistics.snapshot(),
         }
+
+    def metrics(self) -> str:
+        """The process-wide metrics registry in Prometheus text format.
+
+        Counters and histograms accumulate as commits happen;
+        point-in-time gauges — queue depth, subscriber counts and lag —
+        are refreshed per scrape so every exposition is current.
+        """
+        for state in self._views.values():
+            _QUEUE_DEPTH.labels(state.name).set(state.queue.qsize())
+            _SUBSCRIBERS.labels(state.name).set(len(state.subscribers))
+            _SUBSCRIBER_LAG.labels(state.name).set(
+                max((s._queue.qsize() for s in state.subscribers), default=0)
+            )
+        return REGISTRY.exposition()
 
     # ------------------------------------------------------------------
     # Read side
@@ -415,6 +525,7 @@ class ViewServer:
         state = self._state(name)
         sub = Subscription(name)
         state.subscribers.append(sub)
+        _SUBSCRIBERS.labels(state.name).set(len(state.subscribers))
         return sub
 
     def unsubscribe(self, sub: Subscription) -> None:
@@ -422,6 +533,7 @@ class ViewServer:
         state = self._views.get(sub.view)
         if state is not None and sub in state.subscribers:
             state.subscribers.remove(sub)
+            _SUBSCRIBERS.labels(state.name).set(len(state.subscribers))
         sub.close()
 
     # ------------------------------------------------------------------
@@ -441,6 +553,7 @@ class ViewServer:
         state = self._state(name)
         state.view.validate_delta(delta)
         state.submitted += 1
+        _SUBMITTED.labels(state.name).inc()
         future: "asyncio.Future" = asyncio.get_running_loop().create_future()
         state.queue.put_nowait((delta, future))
         return await future
@@ -481,6 +594,7 @@ class ViewServer:
                     future.set_result((state.seq, ChangeSet()))
             return
         seq = state.seq + 1
+        started = time.perf_counter()
         try:
             if state.log is not None:
                 # Write-ahead: the entry is durable before any state moves
@@ -502,6 +616,10 @@ class ViewServer:
             return
         state.seq = seq
         state.commits += 1
+        _COMMITS.labels(state.name).inc()
+        _BATCH_SIZE.labels(state.name).observe(len(batch))
+        _COMMIT_SECONDS.labels(state.name).observe(time.perf_counter() - started)
+        _QUEUE_DEPTH.labels(state.name).set(state.queue.qsize())
         if (
             state.log is not None
             and self.snapshot_every is not None

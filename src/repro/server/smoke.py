@@ -19,7 +19,13 @@ and the load harness (which measures instead of asserting):
    deltas;
 5. kill the server without a final snapshot (the crash), restart from
    the state directory — recovery is snapshot + WAL replay — and check
-   the recovered view state equals the pre-crash one exactly.
+   the recovered view state equals the pre-crash one exactly;
+6. scrape the ``metrics`` verb on both sides of the crash and check the
+   story is visible in the exposition: commit/batch/WAL series present
+   and populated before the crash, the recovery replay counter advanced
+   after the restart, and the commit counter strictly increasing across
+   it (the registry is process-wide, so counters survive the in-process
+   "crash" and keep climbing).
 """
 
 from __future__ import annotations
@@ -45,6 +51,14 @@ PROGRAM = """
 """
 
 _checks = 0
+
+
+def _sample(exposition: str, name: str, label: str = 'view="tc"') -> float:
+    """The first sample of ``name`` carrying ``label`` (NaN when absent)."""
+    for line in exposition.splitlines():
+        if line.startswith(name + "{") and label in line:
+            return float(line.rsplit(" ", 1)[1])
+    return float("nan")
 
 
 def check(condition: bool, label: str) -> None:
@@ -141,6 +155,23 @@ async def run(state_dir: Path) -> None:
     check(set(a["seq"] for a in acks) <= seen, "subscriber streamed every commit")
     await watcher.close()
 
+    # --- metrics verb: the serving story shows in the exposition ------
+    exposition = await client.metrics()
+    commits_before = _sample(exposition, "repro_server_commits_total")
+    check(commits_before >= 1, "metrics verb exposes the commit counter")
+    check(
+        _sample(exposition, "repro_server_batch_size_count") >= 1,
+        "commit batch-size histogram populated",
+    )
+    check(
+        _sample(exposition, "repro_server_commit_seconds_count") >= 1,
+        "commit latency histogram populated",
+    )
+    check(
+        _sample(exposition, "repro_wal_append_seconds_count") >= 1,
+        "WAL append latency histogram populated",
+    )
+
     pre_crash = {
         "seq": service.pin("tc").seq,
         "db": service.pin("tc").db,
@@ -181,6 +212,25 @@ async def run(state_dir: Path) -> None:
     check(ack["seq"] == pre_crash["seq"] + 1, "post-recovery commit continues the log")
     tc_after = {tuple(t) for t in (await client2.query("tc", "TC"))["tuples"]}
     check((99, 2) in tc_after, "post-recovery maintenance is live")
+
+    # Metrics across the crash: recovery counters advanced, commits kept
+    # climbing (same process, same registry — the smoke's "crash" kills
+    # the server objects, not the counters).
+    exposition2 = await client2.metrics()
+    check(
+        _sample(exposition2, "repro_server_recovery_replayed_total") >= 1,
+        "recovery replay counter advanced on restart",
+    )
+    check(
+        _sample(exposition2, "repro_server_recovery_seconds_count") >= 1,
+        "recovery wall-time histogram populated",
+    )
+    check(
+        _sample(exposition2, "repro_server_commits_total") > commits_before,
+        "commit counter strictly increased across crash/replay",
+    )
+    stats = (await client2.request("stats", view="tc"))["stats"]
+    check("planner" in stats, "stats verb carries the planner statistics block")
     await client2.close()
     await frontend2.close()
 

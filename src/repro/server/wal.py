@@ -35,6 +35,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
@@ -43,8 +44,22 @@ from ..db import csvio
 from ..db.database import Database
 from ..db.relation import Relation
 from ..materialize.delta import Delta
+from ..obs import LATENCY_BUCKETS, REGISTRY
 
 PathLike = Union[str, Path]
+
+_APPEND_SECONDS = REGISTRY.histogram(
+    "repro_wal_append_seconds",
+    "WAL entry append latency (dump + atomic rename).",
+    labelnames=("view",),
+    buckets=LATENCY_BUCKETS,
+)
+_SNAPSHOT_SECONDS = REGISTRY.histogram(
+    "repro_wal_snapshot_seconds",
+    "Snapshot cut latency (full dump + meta flip + prune).",
+    labelnames=("view",),
+    buckets=LATENCY_BUCKETS,
+)
 
 _FORMAT = 1
 _META = "meta.json"
@@ -158,6 +173,7 @@ class DeltaLog:
 
     def append(self, seq: int, delta: Delta) -> None:
         """Durably record batch ``seq`` (atomic: dump to tmp, rename)."""
+        started = time.perf_counter()
         wal = self.directory / _WAL
         final = wal / _seq_name(seq)
         if final.exists():
@@ -168,6 +184,9 @@ class DeltaLog:
         tmp.mkdir(parents=True)
         csvio.dump_delta(delta, tmp)
         os.replace(tmp, final)
+        _APPEND_SECONDS.labels(self.directory.name).observe(
+            time.perf_counter() - started
+        )
 
     def discard(self, seq: int) -> None:
         """Remove entry ``seq`` (the apply-failed undo of a logged batch)."""
@@ -211,12 +230,16 @@ class DeltaLog:
         steps leaves a recoverable state (at worst with stale artefacts
         the next snapshot prunes).
         """
+        started = time.perf_counter()
         meta = self._read_meta()
         self._write_snapshot_dir(seq, db)
         meta["snapshot_seq"] = seq
         meta["schema"] = {name: db[name].arity for name in db.relation_names()}
         self._write_meta(meta)
         self._prune(seq)
+        _SNAPSHOT_SECONDS.labels(self.directory.name).observe(
+            time.perf_counter() - started
+        )
 
     @property
     def snapshot_seq(self) -> int:

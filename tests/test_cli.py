@@ -223,3 +223,42 @@ def test_update_sequential_deltas_print_each_changeset(workspace, tmp_path, caps
     out = capsys.readouterr().out
     assert out.count("engine=") == 2
     assert "E: +1 -0" in out and "E: +0 -1" in out
+
+
+def test_explain_prints_plans_and_estimates(workspace, capsys):
+    program, dbdir = workspace
+    assert main(["explain", str(program), "--db", str(dbdir)]) == 0
+    out = capsys.readouterr().out
+    assert "semantics=wellfounded" in out  # auto-detected: pi_1 is unstratifiable
+    assert "plan for T(X) :- E(Y, X), !T(Y)." in out
+    assert "observed planner statistics" in out
+
+
+def test_explain_profile_attributes_phases(workspace, tmp_path, capsys):
+    from repro.obs import RECORDER, TRACER
+
+    program, dbdir = workspace
+    trace = tmp_path / "trace.json"
+    assert (
+        main(
+            [
+                "explain",
+                str(program),
+                "--db",
+                str(dbdir),
+                "--profile",
+                "--trace-out",
+                str(trace),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "profile: wall" in out and "attributed to spans" in out
+    assert "alternation.step" in out
+    # The profile run leaves the process-wide facades off again.
+    assert not RECORDER.enabled and not TRACER.enabled
+    import json
+
+    doc = json.loads(trace.read_text())
+    assert any(e["name"] == "wellfounded" for e in doc["traceEvents"])

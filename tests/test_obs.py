@@ -1,0 +1,290 @@
+"""Tests for :mod:`repro.obs`: registry, recorder, tracer, exposition.
+
+The contracts under test:
+
+* the metrics registry is thread-safe (concurrent increments lose
+  nothing) and histograms follow Prometheus ``le`` bucket semantics —
+  an observation equal to a bound lands in that bound's bucket;
+* the text exposition is parseable line-by-line, label values are
+  escaped, and histogram ``_bucket`` series are cumulative with the
+  ``+Inf`` bucket equal to ``_count``;
+* the recorder facade is a true no-op while disabled — no allocation
+  per call (regression-tested via ``sys.getallocatedblocks``) — and
+  routes into the bound registry once enabled;
+* span trees are well-formed (children nested inside parents, every
+  non-root reachable, no orphans) and survive a Chrome trace-event
+  JSON round-trip with structure and aggregates intact;
+* ``aggregate`` attributes every traced second exactly once: the self
+  time column sums to the summed root durations;
+* the server's ``encode_stats`` codec renders arbitrary introspection
+  payloads as ``json.dumps``-able values.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import sys
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import (
+    INSTRUMENTS,
+    NULL_SPAN,
+    RECORDER,
+    TRACER,
+    MetricsRegistry,
+    Recorder,
+    aggregate,
+    disable_metrics,
+    enable_metrics,
+    export_chrome,
+    import_chrome,
+    span_total,
+    walk,
+)
+from repro.server.protocol import encode_stats
+
+
+@pytest.fixture(autouse=True)
+def _observability_off():
+    """Every test leaves the process-wide facades disabled and drained."""
+    yield
+    disable_metrics()
+    TRACER.stop()
+
+
+# ----------------------------------------------------------------------
+# Registry: counters, gauges, histograms
+# ----------------------------------------------------------------------
+
+
+def test_concurrent_increments_lose_nothing():
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", "concurrent counter")
+    threads = [
+        threading.Thread(
+            target=lambda: [counter.inc() for _ in range(10_000)]
+        )
+        for _ in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.value == 8 * 10_000
+
+
+def test_histogram_bucket_edges_are_le():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", "edges", buckets=(1.0, 2.0, 5.0))
+    for value in (1.0, 1.0001, 2.0, 5.0, 6.0):
+        hist.observe(value)
+    # Cumulative: le=1 holds {1.0}; le=2 adds {1.0001, 2.0}; le=5 adds
+    # {5.0}; +Inf adds the overflowing {6.0}.
+    assert hist.labels().bucket_counts() == [
+        (1.0, 1),
+        (2.0, 3),
+        (5.0, 4),
+        (float("inf"), 5),
+    ]
+    assert hist.labels().count == 5
+    assert hist.labels().sum == pytest.approx(15.0001)
+
+
+@given(
+    values=st.lists(
+        st.floats(
+            min_value=0, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+        max_size=50,
+    )
+)
+def test_histogram_invariants(values):
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", buckets=(0.5, 10.0, 1000.0)).labels()
+    for v in values:
+        hist.observe(v)
+    counts = hist.bucket_counts()
+    # Cumulative counts never decrease; the +Inf bucket counts everything.
+    assert all(a[1] <= b[1] for a, b in zip(counts, counts[1:]))
+    assert counts[-1] == (float("inf"), len(values))
+    assert hist.count == len(values)
+    assert hist.sum == pytest.approx(sum(values), rel=1e-9, abs=1e-9)
+
+
+def test_reregistration_conflicts_are_loud():
+    registry = MetricsRegistry()
+    registry.counter("x_total", labelnames=("view",))
+    with pytest.raises(ValueError):
+        registry.gauge("x_total")  # kind mismatch
+    with pytest.raises(ValueError):
+        registry.counter("x_total", labelnames=("shard",))  # label mismatch
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+
+def test_exposition_lines_parse_and_labels_escape():
+    registry = MetricsRegistry()
+    registry.counter("r_total", "a counter", labelnames=("view",)).labels(
+        'tc"quoted\\slash\nnewline'
+    ).inc(3)
+    registry.gauge("g", "a gauge").set(2.5)
+    registry.histogram("h_seconds", "a histogram", buckets=(0.1, 1.0)).observe(0.05)
+    text = registry.exposition()
+    assert text.endswith("\n")
+    samples = {}
+    for line in text.splitlines():
+        if line.startswith("#"):
+            assert line.startswith("# HELP ") or line.startswith("# TYPE ")
+            continue
+        series, value = line.rsplit(" ", 1)
+        float(value)  # every sample value is a number
+        samples[series] = float(value)
+    escaped = 'r_total{view="tc\\"quoted\\\\slash\\nnewline"}'
+    assert samples[escaped] == 3
+    assert samples["g"] == 2.5
+    # Histogram: cumulative buckets, +Inf equals _count.
+    assert samples['h_seconds_bucket{le="0.1"}'] == 1
+    assert samples['h_seconds_bucket{le="1"}'] == 1
+    assert samples['h_seconds_bucket{le="+Inf"}'] == samples["h_seconds_count"]
+    assert samples["h_seconds_sum"] == pytest.approx(0.05)
+    assert "# TYPE r_total counter" in text
+    assert "# TYPE h_seconds histogram" in text
+
+
+# ----------------------------------------------------------------------
+# The recorder facade
+# ----------------------------------------------------------------------
+
+
+def test_disabled_recorder_allocates_nothing_per_call():
+    recorder = Recorder()
+    inc = recorder.inc
+    inc("repro_engine_rounds_total")  # warm the call path
+    gc.collect()
+    before = sys.getallocatedblocks()
+    for _ in range(10_000):
+        inc("repro_engine_rounds_total")
+    after = sys.getallocatedblocks()
+    # The loop machinery accounts for a couple of blocks at most; a
+    # per-call allocation would show up 10_000-fold.
+    assert after - before < 50
+
+
+def test_enabled_recorder_routes_into_the_bound_registry():
+    scratch = MetricsRegistry()
+    enable_metrics(scratch)
+    try:
+        RECORDER.inc("repro_engine_rounds_total", 2)
+        RECORDER.observe("repro_view_apply_seconds", 0.01)
+        assert scratch.counter("repro_engine_rounds_total").value == 2
+        assert scratch.histogram("repro_view_apply_seconds").labels().count == 1
+        with pytest.raises(KeyError):
+            RECORDER.inc("not_in_the_catalog")
+    finally:
+        disable_metrics()
+    # Disabled again: nothing flows, even for unknown names.
+    RECORDER.inc("not_in_the_catalog")
+    assert scratch.counter("repro_engine_rounds_total").value == 2
+
+
+def test_instrument_catalog_is_well_formed():
+    for name, (kind, help_text, buckets) in INSTRUMENTS.items():
+        assert name.startswith("repro_")
+        assert kind in ("counter", "gauge", "histogram")
+        assert help_text
+        assert (buckets is not None) == (kind == "histogram")
+
+
+# ----------------------------------------------------------------------
+# Tracing: well-formedness and the Chrome round-trip
+# ----------------------------------------------------------------------
+
+
+def _sample_forest():
+    TRACER.start()
+    with TRACER.span("outer", pred="TC") as outer:
+        outer["rows_out"] = 7
+        with TRACER.span("inner") as inner:
+            inner["rows_out"] = 3
+        TRACER.event("replan", pred="TC")
+        with TRACER.span("inner"):
+            pass
+    with TRACER.span("second"):
+        pass
+    return TRACER.stop()
+
+
+def test_trace_tree_is_well_formed():
+    roots = _sample_forest()
+    assert [r.name for r in roots] == ["outer", "second"]
+    outer = roots[0]
+    assert [c.name for c in outer.children] == ["inner", "replan", "inner"]
+    spans = list(walk(roots))
+    # Exactly the five spans built above, no orphans: every walked node
+    # is either a root (parent None) or its parent's child.
+    assert len(spans) == 5
+    for node, parent in spans:
+        if parent is None:
+            assert node in roots
+        else:
+            assert node in parent.children
+            assert parent.start <= node.start
+            assert node.end <= parent.end
+    assert TRACER.span("x") is NULL_SPAN  # stopped again -> null span
+    assert not NULL_SPAN
+    NULL_SPAN["swallowed"] = True  # attribute writes are no-ops
+
+
+def test_chrome_round_trip_preserves_structure():
+    roots = _sample_forest()
+    text = export_chrome(roots)
+    json.loads(text)  # valid JSON
+    rebuilt = import_chrome(text)
+    assert [r.name for r in rebuilt] == [r.name for r in roots]
+    assert [c.name for c in rebuilt[0].children] == [
+        c.name for c in roots[0].children
+    ]
+    # Aggregates survive the round-trip (durations up to µs rounding).
+    before = {s.name: (s.count, s.rows) for s in aggregate(roots)}
+    after = {s.name: (s.count, s.rows) for s in aggregate(rebuilt)}
+    assert before == after
+    assert span_total(rebuilt) == pytest.approx(span_total(roots), abs=1e-5)
+    assert rebuilt[0].attrs["pred"] == "TC"
+
+
+def test_aggregate_attributes_every_second_once():
+    roots = _sample_forest()
+    stats = aggregate(roots)
+    assert sum(s.self_time for s in stats) == pytest.approx(
+        span_total(roots), abs=1e-9
+    )
+    by_name = {s.name: s for s in stats}
+    assert by_name["outer"].rows == 7
+    assert by_name["inner"].count == 2
+    assert by_name["replan"].count == 1
+
+
+# ----------------------------------------------------------------------
+# The stats-verb codec
+# ----------------------------------------------------------------------
+
+
+def test_encode_stats_is_json_safe():
+    payload = {
+        ("P", (0, 1)): {3, 1, 2},
+        "nested": {"t": (1, "a"), "none": None, "flag": True},
+        "obj": object(),
+    }
+    encoded = encode_stats(payload)
+    json.dumps(encoded)  # must not raise
+    assert encoded["nested"]["t"] == [1, "a"]
+    assert encoded["('P', (0, 1))"] == [1, 2, 3]
+    assert isinstance(encoded["obj"], str)
