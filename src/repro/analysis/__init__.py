@@ -1,15 +1,42 @@
-"""Static analysis of DATALOG¬ programs: dependencies, strata, classes."""
+"""Static analysis of DATALOG¬ programs.
+
+Three layers:
+
+* **Facts** — :class:`ProgramFacts` (:mod:`repro.analysis.facts`), the
+  queryable API over everything statically decidable about a program:
+  dependency graph, SCCs, strata, negation cycles, derivability,
+  column domains, engine applicability.
+* **Diagnostics** — :mod:`repro.analysis.checks` turns the facts into
+  stable-coded :class:`Diagnostic`\\ s with source spans;
+  :func:`lint_source` / :func:`lint_program`
+  (:mod:`repro.analysis.lint`) orchestrate and return a
+  :class:`LintReport`.
+* **Legacy faces** — the original classification/metrics helpers
+  (:func:`classify`, :class:`ProgramStats`, ...) remain as thin views.
+
+Surfaced as ``python -m repro lint``, the ``explain`` summary block,
+and the server's ``register``/``lint``/``stats`` verbs.
+"""
 
 from .classify import EngineSupport, ProgramClass, classify
 from .dependency import DependencyEdge, DependencyGraph
+from .diagnostics import Diagnostic, LintReport, Severity
+from .facts import ProgramFacts
+from .lint import lint_program, lint_source
 from .stats import GroundingStats, ProgramStats
 
 __all__ = [
     "DependencyEdge",
     "DependencyGraph",
+    "Diagnostic",
     "EngineSupport",
     "GroundingStats",
+    "LintReport",
     "ProgramClass",
+    "ProgramFacts",
     "ProgramStats",
+    "Severity",
     "classify",
+    "lint_program",
+    "lint_source",
 ]

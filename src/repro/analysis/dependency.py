@@ -18,7 +18,7 @@ EDB predicates implicitly occupy stratum 0.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..core.literals import Atom, Negation
@@ -118,9 +118,90 @@ class DependencyGraph:
         for i, comp in enumerate(self.sccs()):
             for node in comp:
                 component_of[node] = i
-        for e in self.edges:
+        for e in sorted(self.edges, key=lambda e: (e.source, e.target)):
             if e.negative and component_of[e.source] == component_of[e.target]:
                 return e
+        return None
+
+    def negative_sccs(self) -> List[FrozenSet[str]]:
+        """The SCCs containing an internal negative edge.
+
+        These are exactly the components where recursion goes through
+        negation — the predicates on which inflationary and well-founded
+        evaluation can disagree (the paper's core distinction).
+        """
+        component_of: Dict[str, int] = {}
+        components = self.sccs()
+        for i, comp in enumerate(components):
+            for node in comp:
+                component_of[node] = i
+        bad = {
+            component_of[e.source]
+            for e in self.edges
+            if e.negative and component_of[e.source] == component_of[e.target]
+        }
+        return [components[i] for i in sorted(bad)]
+
+    def negative_cycles(self) -> List[List[DependencyEdge]]:
+        """One witness cycle through negation per offending SCC.
+
+        Each witness is an edge list ``[e_1, ..., e_k]`` with
+        ``e_i.target == e_{i+1}.source`` and ``e_k.target ==
+        e_1.source`` where at least one edge is negative: a concrete
+        cycle a diagnostic can print rule by rule.  Self-loops are the
+        length-1 case (win–move).  Deterministic: nodes and edges are
+        explored in sorted order.
+        """
+        out: List[List[DependencyEdge]] = []
+        for comp in self.negative_sccs():
+            seed = min(
+                (
+                    e
+                    for e in self.edges
+                    if e.negative and e.source in comp and e.target in comp
+                ),
+                key=lambda e: (e.source, e.target),
+            )
+            if seed.target == seed.source:
+                out.append([seed])
+                continue
+            # Shortest path seed.target -> seed.source inside the SCC
+            # (it exists: both endpoints are in one SCC), closing the
+            # cycle through the negative seed edge.
+            parent: Dict[str, DependencyEdge] = {}
+            frontier = [seed.target]
+            while frontier and seed.source not in parent:
+                nxt: List[str] = []
+                for node in frontier:
+                    for e in sorted(
+                        self._succ[node], key=lambda e: (e.target, e.negative)
+                    ):
+                        if e.target in comp and e.target not in parent and (
+                            e.target != seed.target
+                        ):
+                            parent[e.target] = e
+                            nxt.append(e.target)
+                frontier = nxt
+            path: List[DependencyEdge] = []
+            node = seed.source
+            while node != seed.target:
+                edge = parent[node]
+                path.append(edge)
+                node = edge.source
+            out.append([seed] + list(reversed(path)))
+        return out
+
+    def rule_for_edge(self, edge: DependencyEdge):
+        """A rule of the program inducing ``edge``, for witness printing."""
+        for rule in self.program.rules:
+            if rule.head.pred != edge.target:
+                continue
+            for lit in rule.body:
+                if edge.negative:
+                    if isinstance(lit, Negation) and lit.atom.pred == edge.source:
+                        return rule
+                elif isinstance(lit, Atom) and lit.pred == edge.source:
+                    return rule
         return None
 
     def is_stratifiable(self) -> bool:

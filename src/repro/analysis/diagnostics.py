@@ -1,0 +1,199 @@
+"""The diagnostic framework: codes, severities, spans, reports.
+
+A :class:`Diagnostic` is one finding of the static analyzer — a stable
+code (``R001 unsafe-rule``, ``S001 negative-cycle``, ...), a severity,
+a human message, and, when the program came from source text, the
+``(line, column)`` span of the offending rule so tools can point at
+real program text.  A :class:`LintReport` is the full result of one
+analysis run: the diagnostics plus the program-level facts summary
+(class, stratum count, negative-cycle predicates) that the CLI, the
+``explain`` summary block and the server's ``lint``/``stats`` verbs all
+share.
+
+The JSON rendering (:meth:`LintReport.to_json`) is schema-stable:
+``{"version", "summary", "diagnostics"}`` with fixed keys per
+diagnostic, tested against golden expectations so downstream consumers
+(CI, editors) can rely on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.literals import Span
+
+JSON_VERSION = 1
+"""Schema version of :meth:`LintReport.to_json` payloads."""
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; order is significance (ERROR highest)."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    ``rule_index`` is the 0-based position of the offending rule in the
+    program (``None`` for program-level findings), ``predicate`` the
+    predicate the finding is about when there is one, and ``span`` the
+    source position when the program was parsed from text.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    span: Optional[Span] = None
+    rule_index: Optional[int] = None
+    predicate: Optional[str] = None
+
+    def format(self, filename: Optional[str] = None) -> str:
+        """Render ``file:line:col: severity[code]: message``."""
+        prefix = filename or "<program>"
+        if self.span is not None:
+            prefix = "%s:%d:%d" % (prefix, self.span.line, self.span.column)
+        return "%s: %s[%s]: %s" % (prefix, self.severity, self.code, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The schema-stable JSON object for this diagnostic."""
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "line": self.span.line if self.span is not None else None,
+            "column": self.span.column if self.span is not None else None,
+            "rule": self.rule_index,
+            "predicate": self.predicate,
+        }
+
+
+_SORT_SPAN = Span(0, 0)
+
+
+def _sort_key(d: Diagnostic) -> Tuple:
+    span = d.span if d.span is not None else _SORT_SPAN
+    return (span.line, span.column, -int(d.severity), d.code, d.message)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Everything one analysis run produced.
+
+    ``summary`` carries the program-level facts every consumer wants
+    next to the findings: the paper's program class, the stratum count
+    (``None`` when not stratifiable), and the predicates on a cycle
+    through negation (where inflationary and well-founded models can
+    differ).
+    """
+
+    diagnostics: Tuple[Diagnostic, ...]
+    program_class: Optional[str] = None
+    stratum_count: Optional[int] = None
+    negative_cycle_predicates: Tuple[str, ...] = ()
+    rules: int = 0
+
+    @classmethod
+    def of(
+        cls,
+        diagnostics,
+        program_class: Optional[str] = None,
+        stratum_count: Optional[int] = None,
+        negative_cycle_predicates=(),
+        rules: int = 0,
+    ) -> "LintReport":
+        """Build a report with diagnostics in presentation order."""
+        return cls(
+            diagnostics=tuple(sorted(diagnostics, key=_sort_key)),
+            program_class=program_class,
+            stratum_count=stratum_count,
+            negative_cycle_predicates=tuple(sorted(negative_cycle_predicates)),
+            rules=rules,
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def count(self, severity: Severity) -> int:
+        """How many diagnostics carry ``severity``."""
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return self.count(Severity.WARNING)
+
+    @property
+    def infos(self) -> int:
+        return self.count(Severity.INFO)
+
+    def codes(self) -> Tuple[str, ...]:
+        """The distinct diagnostic codes present, sorted."""
+        return tuple(sorted({d.code for d in self.diagnostics}))
+
+    def has_errors(self, strict: bool = False) -> bool:
+        """True when the report should fail a gate.
+
+        ``strict`` promotes warnings to errors (the ``--strict`` flag).
+        """
+        if strict:
+            return self.errors > 0 or self.warnings > 0
+        return self.errors > 0
+
+    def exit_code(self, strict: bool = False) -> int:
+        """The process exit status lint tooling should use (0 or 1)."""
+        return 1 if self.has_errors(strict) else 0
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """The schema-stable program-facts + counts block."""
+        return {
+            "class": self.program_class,
+            "rules": self.rules,
+            "strata": self.stratum_count,
+            "negative_cycle_predicates": list(self.negative_cycle_predicates),
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "infos": self.infos,
+        }
+
+    def to_json(self) -> Dict[str, Any]:
+        """The full schema-stable JSON document (see the module doc)."""
+        return {
+            "version": JSON_VERSION,
+            "summary": self.summary(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def format(self, filename: Optional[str] = None) -> str:
+        """Human-readable multi-line rendering, one line per finding."""
+        lines: List[str] = [d.format(filename) for d in self.diagnostics]
+        counts = "%d error(s), %d warning(s), %d info(s)" % (
+            self.errors,
+            self.warnings,
+            self.infos,
+        )
+        facts = "class=%s" % (self.program_class or "?")
+        if self.stratum_count is not None:
+            facts += ", strata=%d" % self.stratum_count
+        if self.negative_cycle_predicates:
+            facts += ", negation cycle through {%s}" % ", ".join(
+                self.negative_cycle_predicates
+            )
+        lines.append("%s — %s" % (counts, facts))
+        return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Lint orchestration: source text (or a program) in, a report out.
+
+:func:`lint_source` is the full pipeline — parse, arity-check, build
+:class:`~repro.analysis.facts.ProgramFacts`, run the registry — with
+every failure mode turned into a spanned diagnostic instead of an
+exception:
+
+* ``P001`` the text does not tokenize/parse,
+* ``P002`` the text parses to zero rules,
+* ``A001`` a predicate is used with two arities (the parse-level error
+  :class:`~repro.core.program.Program` would raise),
+* ``A002`` program construction failed some other way (bad carrier).
+
+:func:`lint_program` is the short form for programs that already exist
+as values (the server's hosted views); it runs the registry only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.literals import Atom, Negation, Span
+from ..core.parser import ParseError, parse_rules
+from ..core.program import Program, ProgramError
+from ..db.database import Database
+from .checks import run_checks
+from .diagnostics import Diagnostic, LintReport, Severity
+from .facts import ProgramFacts
+
+
+def _arity_conflicts(rules) -> List[Diagnostic]:
+    """A001 diagnostics: predicates used with inconsistent arities."""
+    seen: Dict[str, Tuple[int, Atom]] = {}
+    out: List[Diagnostic] = []
+    for rule in rules:
+        atoms = [rule.head]
+        for lit in rule.body:
+            if isinstance(lit, Atom):
+                atoms.append(lit)
+            elif isinstance(lit, Negation):
+                atoms.append(lit.atom)
+        for atom in atoms:
+            prior = seen.get(atom.pred)
+            if prior is None:
+                seen[atom.pred] = (atom.arity, atom)
+            elif prior[0] != atom.arity:
+                out.append(
+                    Diagnostic(
+                        code="A001",
+                        severity=Severity.ERROR,
+                        message=(
+                            "arity conflict: %s used with arity %d here but "
+                            "arity %d at %s"
+                            % (
+                                atom.pred,
+                                atom.arity,
+                                prior[0],
+                                prior[1].span or "an earlier occurrence",
+                            )
+                        ),
+                        span=atom.span,
+                        predicate=atom.pred,
+                    )
+                )
+    return out
+
+
+def lint_program(
+    program: Program,
+    db: Optional[Database] = None,
+    facts: Optional[ProgramFacts] = None,
+) -> LintReport:
+    """Analyze an already-constructed program (registry checks only)."""
+    facts = facts if facts is not None else ProgramFacts(program)
+    return LintReport.of(
+        run_checks(facts, db),
+        program_class=facts.classification.value,
+        stratum_count=facts.stratum_count,
+        negative_cycle_predicates=facts.negative_cycle_predicates,
+        rules=len(program.rules),
+    )
+
+
+def lint_source(
+    text: str,
+    db: Optional[Database] = None,
+    carrier: Optional[str] = None,
+) -> LintReport:
+    """Analyze program text; every failure mode becomes a diagnostic."""
+    try:
+        rules = parse_rules(text)
+    except ParseError as exc:
+        return LintReport.of(
+            [
+                Diagnostic(
+                    code="P001",
+                    severity=Severity.ERROR,
+                    message=str(exc),
+                    span=Span(exc.line, exc.column),
+                )
+            ]
+        )
+    if not rules:
+        return LintReport.of(
+            [
+                Diagnostic(
+                    code="P002",
+                    severity=Severity.ERROR,
+                    message="program contains no rules",
+                )
+            ]
+        )
+    conflicts = _arity_conflicts(rules)
+    if conflicts:
+        return LintReport.of(conflicts, rules=len(rules))
+    try:
+        program = Program(rules, carrier=carrier)
+    except ProgramError as exc:
+        return LintReport.of(
+            [
+                Diagnostic(
+                    code="A002",
+                    severity=Severity.ERROR,
+                    message=str(exc),
+                )
+            ],
+            rules=len(rules),
+        )
+    return lint_program(program, db)

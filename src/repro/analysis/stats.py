@@ -13,7 +13,6 @@ from dataclasses import dataclass
 from ..core.grounding import GroundProgram
 from ..core.literals import Negation, Neq
 from ..core.program import Program
-from ..db.database import Database
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,6 @@ from ..analysis.stats import GroundingStats
 from ..core.fixpoint import idb_equal, incomparable
 from ..core.grounding import ground_program
 from ..core.satreduction import (
-    analyze_fixpoints,
     count_fixpoints_sat,
     enumerate_fixpoints_sat,
     has_fixpoint,
@@ -25,7 +24,6 @@ from ..core.semantics import (
     naive_least_fixpoint,
     seminaive_least_fixpoint,
     stratified_semantics,
-    well_founded_semantics,
 )
 from ..circuits.builders import (
     complete_graph_circuit,
@@ -34,7 +32,6 @@ from ..circuits.builders import (
     hypercube_circuit,
 )
 from ..db.database import Database
-from ..db.relation import Relation
 from ..graphs import generators as gg
 from ..graphs.algorithms import (
     count_3colorings,

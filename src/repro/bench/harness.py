@@ -10,7 +10,7 @@ tables, and the pytest benchmarks call the same runners.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Sequence
 
 
 @dataclass

@@ -6,11 +6,10 @@ presenting graphs whose explicit expansions we can still afford to check.
 
 from __future__ import annotations
 
-from itertools import product
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..graphs.digraph import Digraph
-from .circuit import Circuit, CircuitBuilder
+from .circuit import CircuitBuilder
 from .succinct import BitNode, SuccinctGraph
 
 

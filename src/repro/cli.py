@@ -1,10 +1,11 @@
-"""Command-line interface: evaluate, analyse, classify, update programs.
+"""Command-line interface: evaluate, analyse, classify, lint, update programs.
 
 Usage::
 
     python -m repro run PROGRAM.dl --db DIR [--semantics inflationary]
     python -m repro analyze PROGRAM.dl --db DIR [--count-limit N]
     python -m repro classify PROGRAM.dl
+    python -m repro lint PROGRAM.dl [--db DIR] [--json] [--strict]
     python -m repro update PROGRAM.dl --db DIR --delta DIR [--delta DIR2 ...]
         [--semantics stratified|inflationary|wellfounded] [--batch]
     python -m repro serve [PROGRAM.dl] [--db DIR] [--state DIR]
@@ -34,10 +35,20 @@ engine metrics are enabled so the ``metrics`` verb exposes them.
 
 ``explain`` pretty-prints each rule's compiled plan (join order,
 semi-join prologue, planning-time estimates) together with the shared
-planner's observed statistics.  ``--profile`` additionally runs the
-program under span tracing and prints a phase-attributed time/row
-breakdown; ``--trace-out FILE`` writes the span forest as Chrome
-trace-event JSON (openable in Perfetto / ``chrome://tracing``).
+planner's observed statistics and a static-analysis summary block.
+``--profile`` additionally runs the program under span tracing and
+prints a phase-attributed time/row breakdown; ``--trace-out FILE``
+writes the span forest as Chrome trace-event JSON (openable in
+Perfetto / ``chrome://tracing``).
+
+``lint`` runs the full static analyzer (:mod:`repro.analysis`): parse
+and arity errors, range-restriction/safety, stratifiability with a
+witness cycle through negation, semantics-divergence warnings on the
+predicates where inflationary and well-founded models can differ, dead
+rules, duplicate/subsumed rules, column type conflicts, and — with
+``--db`` — database compatibility and unused relations.  Exit status is
+1 exactly when error-level diagnostics exist; ``--strict`` promotes
+warnings to errors; ``--json`` emits the schema-stable report document.
 """
 
 from __future__ import annotations
@@ -78,6 +89,71 @@ def _load_database(directory: str, program: Program) -> Database:
     db = csvio.load_database(directory, schema)
     check_database(program, db)
     return db
+
+
+def _load_lint_database(directory: str, program: Program):
+    """Best-effort database load for the analyzer.
+
+    Unlike :func:`_load_database` this never fails on a missing or
+    mismatched relation — those become V001/V002 diagnostics.  Every
+    ``<name>.csv`` in the directory is loaded (so unreferenced
+    relations surface as U001), with the arity inferred from the first
+    data row when the program does not fix it.
+    """
+    import csv as _csv
+
+    from .db.database import Database
+
+    relations = []
+    universe = set()
+    for path in sorted(Path(directory).glob("*.csv")):
+        name = path.stem
+        with open(path, newline="") as f:
+            first = next((row for row in _csv.reader(f) if row), None)
+        if first is not None:
+            arity = 0 if first == ["()"] else len(first)
+        else:
+            try:
+                arity = program.arity(name)
+            except KeyError:
+                continue  # empty and unknown to the program: nothing to say
+        rel = csvio.load_relation(path, name, arity)
+        relations.append(rel)
+        for t in rel:
+            universe.update(t)
+    return Database(universe, relations)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static analyzer; exit 1 iff the report gates red.
+
+    ``--strict`` promotes warnings to errors for the exit status (the
+    report itself is unchanged); ``--json`` prints the schema-stable
+    document instead of the human rendering.
+    """
+    import json
+
+    from .analysis import lint_source
+    from .core.parser import ParseError
+    from .core.program import ProgramError
+
+    text = Path(args.program).read_text()
+    db = None
+    if args.db is not None:
+        try:
+            program = parse_program(text, carrier=args.carrier)
+        except (ParseError, ProgramError):
+            program = None  # lint_source reports the failure itself
+        if program is not None:
+            db = _load_lint_database(args.db, program)
+    report = lint_source(text, db=db, carrier=args.carrier)
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=False))
+    else:
+        print(report.format(args.program))
+        if args.strict and report.warnings and not report.errors:
+            print("(--strict: warnings promoted to errors)")
+    return report.exit_code(strict=args.strict)
 
 
 def _print_relations(idb) -> None:
@@ -200,6 +276,24 @@ def cmd_explain(args: argparse.Namespace) -> int:
                 )
             )
         print()
+
+    from .analysis import lint_program
+
+    report = lint_program(program, db)
+    summary = report.summary()
+    print(
+        "lint: class=%s strata=%s, %d error(s), %d warning(s), %d info(s)"
+        % (
+            summary["class"],
+            "n/a" if summary["strata"] is None else summary["strata"],
+            summary["errors"],
+            summary["warnings"],
+            summary["infos"],
+        )
+    )
+    for diagnostic in report.diagnostics:
+        print("  " + diagnostic.format(args.program))
+    print()
 
     wall = None
     if args.profile:
@@ -328,7 +422,7 @@ async def _serve(args: argparse.Namespace) -> int:
     frontend = TcpFrontend(service)
     host, port = await frontend.start(args.host, args.port)
     print("serving on %s:%d (newline-delimited JSON; op: register/delta/"
-          "query/subscribe/info/stats/metrics/shutdown)" % (host, port))
+          "query/subscribe/info/stats/lint/metrics/shutdown)" % (host, port))
     sys.stdout.flush()
     try:
         await frontend.wait_stopped()
@@ -518,6 +612,30 @@ def build_parser() -> argparse.ArgumentParser:
     cls = sub.add_parser("classify", help="program class / strata / safety")
     cls.add_argument("program")
     cls.set_defaults(fn=cmd_classify)
+
+    lint = sub.add_parser(
+        "lint", help="static analysis: spanned diagnostics with stable codes"
+    )
+    lint.add_argument("program", help="path to a .dl program file")
+    lint.add_argument(
+        "--db",
+        default=None,
+        help="directory of <name>.csv files; enables database-compatibility "
+        "and unused-relation checks and seeds column-type inference",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the schema-stable JSON report document",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="promote warnings to errors for the exit status",
+    )
+    lint.add_argument("--carrier", default=None, help="goal predicate")
+    lint.set_defaults(fn=cmd_lint)
     return parser
 
 

@@ -8,11 +8,10 @@ fixpoint is *least* when it is below every other fixpoint.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Iterable, List, Optional
 
 from ..db.database import Database
-from ..db.relation import Relation
-from .operator import IDBMap, empty_idb, theta
+from .operator import IDBMap, theta
 from .program import Program
 
 

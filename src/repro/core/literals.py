@@ -12,22 +12,44 @@ Heads are always (positive) atoms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, FrozenSet, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Optional, Tuple, Union
 
 from .terms import Constant, Term, Variable, term
 
 
 @dataclass(frozen=True)
+class Span:
+    """A source position ``(line, column)``, both 1-based.
+
+    Parsed rules and atoms carry their span so analysis diagnostics can
+    point at real program text; programmatically built syntax has none.
+    """
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return "%d:%d" % (self.line, self.column)
+
+
+@dataclass(frozen=True)
 class Atom:
-    """An atomic formula ``pred(args)``."""
+    """An atomic formula ``pred(args)``.
+
+    ``span`` is provenance only — it never participates in equality or
+    hashing, so a parsed atom and the same atom built in code are one
+    value.
+    """
 
     pred: str
     args: Tuple[Term, ...]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
-    def __init__(self, pred: str, args) -> None:
+    def __init__(self, pred: str, args, span: Optional[Span] = None) -> None:
         object.__setattr__(self, "pred", pred)
         object.__setattr__(self, "args", tuple(term(a) for a in args))
+        object.__setattr__(self, "span", span)
 
     @property
     def arity(self) -> int:

@@ -33,12 +33,12 @@ re-plan-every-call path as the tested-equivalent baseline.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..db.database import Database
 from ..db.index import HashIndex
 from ..db.relation import Relation
-from .literals import Atom, Comparison, Eq, Literal, Negation, Neq
+from .literals import Atom, Eq, Literal, Negation, Neq
 from .planning import PLAN_STORE, ProgramPlan, execute_plan
 from .program import Program
 from .rules import Rule

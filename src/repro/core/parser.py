@@ -21,9 +21,9 @@ Example::
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
-from .literals import Atom, Eq, Literal, Negation, Neq
+from .literals import Atom, Eq, Literal, Negation, Neq, Span
 from .program import Program
 from .rules import Rule
 from .terms import Constant, Term, Variable
@@ -132,6 +132,8 @@ class _Parser:
         return rules
 
     def parse_rule(self) -> Rule:
+        start = self._peek()
+        span = Span(start.line, start.column) if start is not None else None
         head = self.parse_atom()
         tok = self._peek()
         body: List[Literal] = []
@@ -144,7 +146,7 @@ class _Parser:
                     self._next()
                     body.append(self.parse_literal())
         self._expect("DOT")
-        return Rule(head, body)
+        return Rule(head, body, span=span)
 
     def parse_literal(self) -> Literal:
         tok = self._peek()
@@ -180,7 +182,7 @@ class _Parser:
                 self._next()
                 args.append(self.parse_term())
         self._expect("RPAREN")
-        return Atom(name.text, args)
+        return Atom(name.text, args, span=Span(name.line, name.column))
 
     def parse_term(self) -> Term:
         tok = self._next()
@@ -202,6 +204,17 @@ class _Parser:
 def parse_program(text: str, carrier: Optional[str] = None) -> Program:
     """Parse program text into a :class:`Program`."""
     return Program(_Parser(text).parse_program(), carrier=carrier)
+
+
+def parse_rules(text: str) -> List[Rule]:
+    """Parse program text into a bare rule list.
+
+    Unlike :func:`parse_program` this performs no program-level
+    validation (arity consistency, nonemptiness) — the static analyzer
+    uses it to turn those failures into spanned diagnostics instead of
+    exceptions.
+    """
+    return _Parser(text).parse_program()
 
 
 def parse_rule(text: str) -> Rule:

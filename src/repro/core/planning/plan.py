@@ -40,7 +40,7 @@ the batch inner loops do tuple indexing only — no dicts, no AST.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Tuple, Union
 
 from ..rules import Rule

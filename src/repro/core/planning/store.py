@@ -19,7 +19,7 @@ process-wide :data:`PLAN_STORE`; tests may construct private stores.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from typing import FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from ...db.database import Database
 from ..program import Program

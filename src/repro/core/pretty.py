@@ -11,7 +11,7 @@ import re
 from .literals import Atom, Eq, Literal, Negation, Neq
 from .program import Program
 from .rules import Rule
-from .terms import Constant, Term, Variable
+from .terms import Term, Variable
 
 _BARE_CONSTANT_RE = re.compile(r"[a-z][A-Za-z0-9_]*$")
 

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Tuple
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Tuple
 
-from .literals import Atom, Comparison, Eq, Literal, Negation, Neq
+from .literals import Atom, Comparison, Literal, Negation, Neq, Span
 from .terms import Variable
 
 
@@ -17,14 +17,26 @@ class Rule:
     bodyless rule with variables in the head derives every tuple over the
     universe for those positions, which is exactly what the paper's input
     gate rules in Theorem 4 rely on).
+
+    ``span`` is the source position of the rule's first token when the
+    rule came from :mod:`repro.core.parser` (``None`` for rules built in
+    code); like :attr:`Atom.span <repro.core.literals.Atom.span>` it is
+    provenance only and never part of equality or hashing.
     """
 
     head: Atom
     body: Tuple[Literal, ...]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
-    def __init__(self, head: Atom, body: Iterable[Literal] = ()) -> None:
+    def __init__(
+        self,
+        head: Atom,
+        body: Iterable[Literal] = (),
+        span: Optional[Span] = None,
+    ) -> None:
         object.__setattr__(self, "head", head)
         object.__setattr__(self, "body", tuple(body))
+        object.__setattr__(self, "span", span if span is not None else head.span)
 
     # ------------------------------------------------------------------
     # Views of the body

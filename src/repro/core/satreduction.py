@@ -26,7 +26,7 @@ the fixpoints, so the built-in DPLL solver decides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set
 
 from ..db.database import Database
 from ..sat.cnf import CNF

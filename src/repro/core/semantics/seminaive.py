@@ -13,7 +13,7 @@ The result is identical to :func:`repro.core.semantics.naive.naive_least_fixpoin
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ...db.database import Database
 from ...db.relation import Relation

@@ -13,11 +13,10 @@ as a stratified program).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ...analysis.dependency import DependencyGraph
 from ...db.database import Database
-from ...db.relation import Relation
 from ...obs import RECORDER, TRACER
 from ..operator import IDBMap
 from ..program import Program

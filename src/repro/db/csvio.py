@@ -32,7 +32,7 @@ from __future__ import annotations
 import csv
 import re
 from pathlib import Path
-from typing import Any, Iterable, Union
+from typing import Any, Union
 
 from .database import Database
 from .relation import Relation

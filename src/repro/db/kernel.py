@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import os
 from array import array
-from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 try:  # optional fast path; the array backend is always available

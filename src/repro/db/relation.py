@@ -29,7 +29,7 @@ can converge without ever re-constructing a Python tuple.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, Optional, Tuple
+from typing import Any, Callable, Iterable, Iterator, Tuple
 
 Tup = Tuple[Any, ...]
 

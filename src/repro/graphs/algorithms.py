@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import deque
 from itertools import permutations
-from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Set, Tuple
 
 from .digraph import Digraph
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Any
 
 from ..db.database import Database
 from ..db.relation import Relation

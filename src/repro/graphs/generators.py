@@ -10,7 +10,7 @@ distance experiments.
 from __future__ import annotations
 
 import random
-from typing import Any, List, Tuple
+from typing import List, Tuple
 
 from .digraph import Digraph
 

@@ -20,8 +20,7 @@ graph is 3-colorable, but not Hamiltonian?"*
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from itertools import product
-from typing import Any, Callable, Dict, FrozenSet, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..db.database import Database
 from ..core.terms import Constant, Variable
@@ -40,7 +39,6 @@ from .fo import (
     Not,
     Or,
     Top,
-    free_variables,
 )
 
 Oracle = Callable[[Database, Tuple], bool]

@@ -13,7 +13,7 @@ defining equations").
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 from ..core.terms import Variable
 from ..db.database import Database

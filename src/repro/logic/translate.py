@@ -28,19 +28,15 @@ from ..core.terms import Constant, Variable
 from .fo import (
     AtomF,
     EqF,
-    Exists,
     Formula,
     FreshVars,
     IFP,
-    Lit,
     Not,
     and_,
     exists_all,
     free_variables,
     matrix_to_dnf,
     or_,
-    rename_apart,
-    to_nnf,
     to_prenex,
 )
 

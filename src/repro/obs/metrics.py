@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 LATENCY_BUCKETS: Tuple[float, ...] = (
     0.0001,

@@ -28,7 +28,7 @@ import json
 import logging
 import threading
 import time
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional
 
 logger = logging.getLogger("repro.obs")
 

@@ -19,7 +19,7 @@ the nodes with no monochromatic edge, forcing ``P`` — the penalty relation
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from ..core.operator import IDBMap
 from ..core.parser import parse_program

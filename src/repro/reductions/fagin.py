@@ -23,7 +23,7 @@ Pipeline (the proof, verbatim):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..core.literals import Atom, Eq, Negation, Neq
 from ..core.program import Program

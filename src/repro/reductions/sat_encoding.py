@@ -22,7 +22,7 @@ variable and clause names can never collide.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Set
 
 from ..core.operator import IDBMap
 from ..core.parser import parse_program

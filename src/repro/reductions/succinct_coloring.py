@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import List
 
-from ..circuits.circuit import AND, IN, NOT, OR
+from ..circuits.circuit import AND, IN, OR
 from ..circuits.succinct import SuccinctGraph
 from ..core.literals import Atom, Negation
 from ..core.program import Program

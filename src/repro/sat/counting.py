@@ -13,10 +13,10 @@ auxiliaries), projected enumeration is exact model enumeration.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, Optional, Sequence
 
 from .cnf import CNF
-from .solver import Model, Solver
+from .solver import Solver
 
 
 class EnumerationLimitExceeded(RuntimeError):

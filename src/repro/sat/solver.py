@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .cnf import CNF, Clause
+from .cnf import CNF
 
 Model = Dict[int, bool]
 

@@ -24,7 +24,13 @@ asyncio TCP (``python -m repro serve``); :mod:`repro.server.smoke` is a
 self-contained boot → load → kill → replay-equivalence check run by CI.
 """
 
-from .service import ViewServer, ViewInfo
+from .service import ProgramRejected, ViewInfo, ViewServer
 from .wal import DeltaLog, RecoveredState
 
-__all__ = ["DeltaLog", "RecoveredState", "ViewInfo", "ViewServer"]
+__all__ = [
+    "DeltaLog",
+    "ProgramRejected",
+    "RecoveredState",
+    "ViewInfo",
+    "ViewServer",
+]

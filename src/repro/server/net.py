@@ -9,11 +9,20 @@ field::
      "db": {"relations": {...}, "arities": {...}, "universe": [...]}}
     {"op": "delta", "view": ..., "inserts": {...}, "deletes": {...}}
     {"op": "query", "view": ..., "predicate": ..., "undefined": false}
-    {"op": "info" | "stats", "view": ...}
+    {"op": "info" | "stats" | "lint", "view": ...}
     {"op": "metrics"}
     {"op": "subscribe", "view": ...}
     {"op": "ping"}
     {"op": "shutdown"}
+
+``register`` runs the static analyzer first: a program with error-level
+diagnostics is refused, and the error response carries the findings as
+``{"ok": false, "error": ..., "diagnostics": [...]}`` (each entry the
+schema-stable object of
+:meth:`~repro.analysis.diagnostics.Diagnostic.to_dict`).  ``lint``
+returns a hosted view's cached report as the full JSON document
+(``{"ok": true, "report": {"version", "summary", "diagnostics"}}``),
+and ``stats`` includes the same summary under ``"analysis"``.
 
 ``metrics`` returns the process-wide registry rendered as Prometheus
 text exposition (``{"ok": true, "metrics": "..."}``) — per-view commit
@@ -42,7 +51,7 @@ from typing import Any, AsyncIterator, Dict, Optional, Tuple
 from ..materialize.view import ChangeSet
 from . import protocol
 from .protocol import ProtocolError
-from .service import ViewServer
+from .service import ProgramRejected, ViewServer
 
 _LINE_LIMIT = 2 ** 24
 """Stream reader line limit (16 MiB): changesets of large commits are
@@ -169,11 +178,20 @@ class TcpFrontend:
             if op == "stats":
                 stats = self.service.stats(self._view_name(request))
                 return {"ok": True, "stats": protocol.encode_stats(stats)}
+            if op == "lint":
+                report = self.service.lint(self._view_name(request))
+                return {"ok": True, "report": report.to_json()}
             if op == "metrics":
                 return {"ok": True, "metrics": self.service.metrics()}
             if op == "shutdown":
                 return {"ok": True, "stopping": True}
             return _error("unknown op %r" % (op,))
+        except ProgramRejected as exc:
+            response = _error(str(exc))
+            response["diagnostics"] = [
+                d.to_dict() for d in exc.report.diagnostics
+            ]
+            return response
         except (ProtocolError, ValueError, KeyError) as exc:
             message = exc.args[0] if exc.args else str(exc)
             return _error(str(message))
@@ -292,7 +310,16 @@ class TcpFrontend:
 
 
 class ServerError(Exception):
-    """The server answered ``{"ok": false}``; the message is its error."""
+    """The server answered ``{"ok": false}``; the message is its error.
+
+    When the server rejected a ``register`` on static-analysis errors,
+    ``diagnostics`` holds the response's diagnostic objects (else it is
+    the empty list).
+    """
+
+    def __init__(self, message: str, diagnostics=None) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or ())
 
 
 class Client:
@@ -329,7 +356,10 @@ class Client:
             raise ConnectionError("server closed the connection")
         response = json.loads(line)
         if not response.get("ok"):
-            raise ServerError(response.get("error", "unknown server error"))
+            raise ServerError(
+                response.get("error", "unknown server error"),
+                diagnostics=response.get("diagnostics"),
+            )
         return response
 
     # Convenience wrappers -------------------------------------------------
@@ -369,6 +399,11 @@ class Client:
         return await self.request(
             "query", view=view, predicate=predicate, undefined=undefined
         )
+
+    async def lint(self, view: str) -> Dict[str, Any]:
+        """A hosted view's static-analysis report (the JSON document)."""
+        response = await self.request("lint", view=view)
+        return response["report"]
 
     async def metrics(self) -> str:
         """The server's Prometheus text exposition."""

@@ -16,7 +16,7 @@ traceback mid-maintenance.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
 
 from ..db.database import Database
 from ..db.relation import Relation

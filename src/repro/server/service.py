@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from ..analysis import LintReport, lint_program, lint_source
 from ..core.parser import parse_program
 from ..core.planning import PLAN_STORE
 from ..core.program import Program
@@ -111,6 +112,26 @@ _RECOVERY_SECONDS = REGISTRY.histogram(
 _RECENT_WINDOW = 256
 """How many committed changesets the per-view recent-events window keeps
 (the dedup set over their content hashes backs the ``stats`` counters)."""
+
+
+class ProgramRejected(ValueError):
+    """``register`` refused a program with error-level diagnostics.
+
+    Carries the full :class:`~repro.analysis.diagnostics.LintReport` so
+    the protocol layer can return the diagnostic list to the client.
+    """
+
+    def __init__(self, report: LintReport) -> None:
+        self.report = report
+        from ..analysis import Severity
+
+        errors = [
+            d.message for d in report.diagnostics if d.severity is Severity.ERROR
+        ]
+        super().__init__(
+            "program rejected by static analysis: %d error(s): %s"
+            % (report.errors, "; ".join(errors))
+        )
 
 
 class UnknownViewError(KeyError):
@@ -193,6 +214,7 @@ class _ViewState:
         "recovered",
         "submitted",
         "commits",
+        "lint_report",
     )
 
     def __init__(
@@ -220,6 +242,9 @@ class _ViewState:
         self.recovered = recovered
         self.submitted = 0
         self.commits = 0
+        # Static-analysis report, computed once (at register, or lazily
+        # for recovered views) so analysis stays off the serving path.
+        self.lint_report: Optional[LintReport] = None
 
 
 class ViewServer:
@@ -324,7 +349,15 @@ class ViewServer:
         carrier: Optional[str] = None,
         durable: bool = True,
     ) -> ViewInfo:
-        """Host a new view: parse, validate, evaluate, start its writer.
+        """Host a new view: lint, parse, validate, evaluate, start its writer.
+
+        The program text runs through the static analyzer first; any
+        error-level diagnostic (parse failure, arity conflict, missing
+        or mismatched database relation) raises :class:`ProgramRejected`
+        carrying the full report, so protocol clients get the diagnostic
+        list instead of a bare message.  Warnings (unsafe rules,
+        non-stratifiability) do not block — inflationary and
+        well-founded semantics are total.
 
         With a state directory (and ``durable``), the initial database
         is snapshotted before the first delta is accepted, so a crash at
@@ -338,6 +371,9 @@ class ViewServer:
             raise ValueError(
                 "unknown semantics %r; expected one of %s" % (semantics, SEMANTICS)
             )
+        report = lint_source(program_text, db=db, carrier=carrier)
+        if report.has_errors():
+            raise ProgramRejected(report)
         program = parse_program(program_text, carrier=carrier)
         check_database(program, db)
         log = None
@@ -354,6 +390,7 @@ class ViewServer:
             view=view,
             log=log,
         )
+        state.lint_report = report
         self._attach(state)
         logger.info(
             "registered view %r: %s semantics, %d rules, durable=%s",
@@ -412,6 +449,19 @@ class ViewServer:
             recovered=state.recovered,
         )
 
+    def lint(self, name: str) -> LintReport:
+        """The static-analysis report for a hosted view.
+
+        Computed once — at :meth:`register`, or on first request for a
+        recovered view (against the database as of that moment) — and
+        cached on the view state; the analyzer never runs on the commit
+        path.
+        """
+        state = self._state(name)
+        if state.lint_report is None:
+            state.lint_report = lint_program(state.program, state.view.db)
+        return state.lint_report
+
     def stats(self, name: str) -> Dict[str, Any]:
         """Serving counters for one view (the observability face).
 
@@ -425,9 +475,14 @@ class ViewServer:
         ``planner`` surfaces the shared plan store's observed feedback:
         per-predicate observed cardinalities, empirical join
         selectivities, and how many adaptive re-plans have fired.
+        ``analysis`` is the cached static-analysis summary — program
+        class, stratum count, negative-cycle predicates, diagnostic
+        counts and codes — computed once per registration, never per
+        poll.
         """
         from ..db import kernel
 
+        report = self.lint(name)
         state = self._state(name)
         program = state.program
         db = state.view.db
@@ -460,6 +515,7 @@ class ViewServer:
                 },
             },
             "planner": PLAN_STORE.statistics.snapshot(),
+            "analysis": dict(report.summary(), codes=list(report.codes())),
         }
 
     def metrics(self) -> str:

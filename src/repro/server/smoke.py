@@ -10,7 +10,9 @@ and the load harness (which measures instead of asserting):
    an ephemeral port;
 2. register a stratified view (transitive closure + its negation — the
    negation makes maintenance non-monotone, so a replay that is merely
-   *similar* would be caught) over the JSON protocol;
+   *similar* would be caught) over the JSON protocol; check the
+   ``lint`` verb reports it clean, and that a program with error-level
+   diagnostics is *refused* with the findings in the response;
 3. POST concurrent deltas, including value shapes the old CSV coercion
    corrupted (``"01"``, ``" 7"``, ``"+5"`` as *strings*), and check a
    subscriber streamed every committed changeset;
@@ -41,7 +43,7 @@ from ..db.database import Database
 from ..db.relation import Relation
 from ..materialize.delta import Delta
 from ..materialize.view import MaterializedView
-from .net import Client, TcpFrontend
+from .net import Client, ServerError, TcpFrontend
 from .service import ViewServer
 
 PROGRAM = """
@@ -96,6 +98,24 @@ async def run(state_dir: Path) -> None:
         carrier="NOTC",
     )
     check((await client.request("views"))["views"] == ["tc"], "view registered")
+
+    # --- static analysis over the wire --------------------------------
+    report = await client.lint("tc")
+    check(report["summary"]["class"] == "stratified", "lint verb reports the class")
+    check(report["summary"]["errors"] == 0, "hosted program has no error diagnostics")
+    try:
+        await client.register(
+            "bad",
+            "P(X) :- Q(X). P(X, Y) :- Q(Y).",
+            db={"relations": {}, "arities": {}},
+        )
+        check(False, "register refused the arity-conflicted program")
+    except ServerError as exc:
+        check(
+            any(d["code"] == "A001" for d in exc.diagnostics),
+            "rejection response carries the A001 diagnostic",
+        )
+    check((await client.request("views"))["views"] == ["tc"], "rejected view not hosted")
 
     # --- a subscriber watches every commit ----------------------------
     watcher = await Client.connect(host, port)
@@ -231,6 +251,10 @@ async def run(state_dir: Path) -> None:
     )
     stats = (await client2.request("stats", view="tc"))["stats"]
     check("planner" in stats, "stats verb carries the planner statistics block")
+    check(
+        stats.get("analysis", {}).get("class") == "stratified",
+        "stats analysis block live after recovery (lazily computed)",
+    )
     await client2.close()
     await frontend2.close()
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from itertools import product
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 SignedVar = Tuple[str, bool]
 """A literal: ``(variable_name, is_positive)``."""

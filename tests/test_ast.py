@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.literals import Atom, Eq, Negation, Neq
 from repro.core.program import Program, ProgramError
-from repro.core.rules import Rule, rule
+from repro.core.rules import rule
 from repro.core.terms import Constant, Variable, is_constant, is_variable, term
 
 

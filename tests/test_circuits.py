@@ -4,7 +4,7 @@ from itertools import product
 
 import pytest
 
-from repro.circuits.circuit import AND, IN, NOT, OR, Circuit, CircuitBuilder, Gate
+from repro.circuits.circuit import AND, IN, NOT, Circuit, CircuitBuilder, Gate
 from repro.circuits.builders import (
     complete_graph_circuit,
     empty_graph_circuit,

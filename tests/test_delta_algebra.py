@@ -14,7 +14,6 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import Database, Relation
 from repro.core.semantics import (
     inflationary_semantics,
     is_stratifiable,

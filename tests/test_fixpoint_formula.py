@@ -7,7 +7,6 @@ statements by brute force against the SAT-backed analysis.
 
 from itertools import combinations, product
 
-import pytest
 from hypothesis import given, settings
 
 from repro import Database, Relation

@@ -5,8 +5,7 @@ import pytest
 from repro import Database, Relation
 from repro.core.terms import Variable
 from repro.graphs import generators as gg, graph_to_database
-from repro.graphs.digraph import Digraph
-from repro.logic.fo import And, AtomF, EqF, Exists, ForAll, IFP, Not, Top
+from repro.logic.fo import AtomF, EqF, Exists, ForAll, IFP, Top
 from repro.logic.fonp import (
     FONPQuery,
     oracle_3colorable_without,

@@ -1,12 +1,10 @@
 """Tests for the grounder and GroundProgram."""
 
-import pytest
 from hypothesis import given
 
 from repro import Database, Relation, parse_program
-from repro.core.grounding import GroundRule, ground_program
+from repro.core.grounding import ground_program
 from repro.core.operator import empty_idb, theta
-from repro.core.satreduction import FixpointSAT
 
 from strategies import random_programs, small_databases
 

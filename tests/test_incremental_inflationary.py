@@ -1,6 +1,5 @@
 """Tests: delta-driven inflationary evaluation equals the reference engine."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro import Database, Relation, parse_program
@@ -10,7 +9,7 @@ from repro.core.semantics import (
     inflationary_semantics,
 )
 from repro.graphs import generators as gg, graph_to_database
-from repro.queries import distance_program, pi1, transitive_closure_program
+from repro.queries import distance_program, pi1
 
 from strategies import random_programs, small_databases
 

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import tempfile
 from array import array
-from contextlib import contextmanager
 from pathlib import Path
 
 import pytest
@@ -36,11 +35,10 @@ from hypothesis import strategies as st
 
 from strategies import databases_and_deltas, persistable_values, small_databases
 
-from repro import Database, Relation
+from repro import Relation
 from repro.db import kernel
 from repro.db.csvio import dump_relation
 from repro.db.kernel import RelationCodes, SymbolTable, canon_columns
-from repro.materialize import Delta
 from repro.server.wal import DeltaLog
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro import Database, Relation
 from repro.core.satreduction import has_fixpoint
-from repro.core.terms import Constant, Variable
+from repro.core.terms import Variable
 from repro.graphs import generators as gg, graph_to_database
 from repro.logic.eso import ESOFormula, ESOSearchLimit, count_witnesses, eso_holds, witnesses
 from repro.logic.fo import (

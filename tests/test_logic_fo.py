@@ -15,7 +15,6 @@ from repro.logic.fo import (
     Top,
     and_,
     evaluate,
-    exists_all,
     forall_all,
     free_variables,
     iff,

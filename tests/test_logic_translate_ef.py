@@ -6,10 +6,10 @@ from hypothesis import given, settings
 from repro import Database, Relation
 from repro.core.fixpoint import idb_equal
 from repro.core.semantics import inflationary_semantics
-from repro.core.terms import Constant, Variable
+from repro.core.terms import Variable
 from repro.graphs import generators as gg, graph_to_database
 from repro.logic.ef import ef_equivalent
-from repro.logic.fo import IFP, AtomF, Exists, ForAll, Not, and_, evaluate, or_
+from repro.logic.fo import AtomF, ForAll, evaluate
 from repro.logic.ifp import ifp_stage_count, simultaneous_ifp
 from repro.logic.translate import (
     existential_fo_to_program,

@@ -1,6 +1,5 @@
 """Tests for the consequence operator Theta (Section 2 semantics)."""
 
-import pytest
 from hypothesis import given
 
 from repro import Database, Relation, parse_program

@@ -156,3 +156,57 @@ def test_roundtrip_specific_awkward_constants():
         (Atom("E", ["Mixed Case", "not", -5]), Neq(Variable("X"), Constant("a b"))),
     )
     assert parse_rule(format_rule(r)) == r
+
+
+# ----------------------------------------------------------------------
+# Source spans (provenance for the static analyzer)
+# ----------------------------------------------------------------------
+
+
+def test_spans_on_single_line_rule():
+    r = parse_rule("T(X) :- E(Y, X), !T(Y).")
+    assert (r.span.line, r.span.column) == (1, 1)
+    assert (r.head.span.line, r.head.span.column) == (1, 1)
+    assert (r.body[0].span.line, r.body[0].span.column) == (1, 9)
+    assert (r.body[1].atom.span.line, r.body[1].atom.span.column) == (1, 19)
+
+
+def test_spans_survive_comments_and_multiline_rules():
+    text = (
+        "% leading comment\n"
+        "T(X) :-\n"
+        "    E(Y, X),\n"
+        "    !T(Y).\n"
+        "S(X) :- T(X).  % trailing comment\n"
+    )
+    p = parse_program(text)
+    first, second = p.rules
+    assert (first.span.line, first.span.column) == (2, 1)
+    assert (first.body[0].span.line, first.body[0].span.column) == (3, 5)
+    assert (first.body[1].atom.span.line, first.body[1].atom.span.column) == (4, 6)
+    assert (second.span.line, second.span.column) == (5, 1)
+    assert (second.body[0].span.line, second.body[0].span.column) == (5, 9)
+
+
+def test_spans_are_provenance_only():
+    """Parsed and code-built syntax are one value: spans never affect
+    equality, hashing, or repr."""
+    parsed = parse_rule("T(X) :- E(Y, X), !T(Y).")
+    built = Rule(
+        Atom("T", [Variable("X")]),
+        (
+            Atom("E", [Variable("Y"), Variable("X")]),
+            Negation(Atom("T", [Variable("Y")])),
+        ),
+    )
+    assert built.span is None and parsed.span is not None
+    assert parsed == built
+    assert hash(parsed) == hash(built)
+    assert repr(parsed) == repr(built)
+
+
+def test_parse_error_position_is_exact():
+    with pytest.raises(ParseError) as err:
+        parse_program("T(X) :- E(X, Y).\nT(X :- E(X, Y).\n")
+    assert err.value.line == 2
+    assert err.value.column == 5

@@ -1,6 +1,5 @@
 """Tests for the canonical programs of the paper."""
 
-import pytest
 
 from repro.analysis import ProgramClass, classify
 from repro.core.semantics import inflationary_semantics, naive_least_fixpoint

@@ -1,9 +1,7 @@
 """Tests for SAT-backed fixpoint analysis (the Theorems 1-3 machinery)."""
 
-import pytest
 from hypothesis import given, settings
 
-from repro import Database, Relation, parse_program
 from repro.core.fixpoint import idb_equal
 from repro.core.grounding import ground_program
 from repro.core.operator import is_fixpoint
@@ -18,7 +16,7 @@ from repro.core.satreduction import (
     least_fixpoint,
     unique_fixpoint,
 )
-from repro.core.semantics import all_fixpoints, count_fixpoints, naive_least_fixpoint
+from repro.core.semantics import all_fixpoints, naive_least_fixpoint
 from repro.graphs import generators as gg, graph_to_database
 
 from strategies import random_programs, small_databases

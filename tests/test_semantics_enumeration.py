@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, Relation, parse_program
+from repro import Database, parse_program
 from repro.core.semantics import (
     EnumerationLimitError,
     all_fixpoints,

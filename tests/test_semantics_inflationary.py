@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given
 
-from repro import Database, Relation, parse_program
+from repro import Database, parse_program
 from repro.core.fixpoint import idb_leq
 from repro.core.operator import is_fixpoint, theta
 from repro.core.semantics import inflationary_semantics, theta_stage

@@ -1,9 +1,8 @@
 """Tests for the well-founded semantics extension."""
 
-import pytest
 from hypothesis import given
 
-from repro import Database, Relation, parse_program
+from repro import Database, Relation
 from repro.core.semantics import (
     is_stratifiable,
     stratified_semantics,
@@ -11,7 +10,7 @@ from repro.core.semantics import (
 )
 from repro.core.semantics.wellfounded import _least_model_of_reduct
 from repro.graphs import generators as gg, graph_to_database
-from repro.queries import pi1, tc_complement_stratified, win_move_program
+from repro.queries import tc_complement_stratified, win_move_program
 
 from strategies import nonstratifiable_programs, random_programs, small_databases
 

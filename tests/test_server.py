@@ -26,7 +26,7 @@ from repro.server.protocol import (
     encode_changeset,
     encode_delta,
 )
-from repro.server.service import UnknownViewError
+from repro.server.service import ProgramRejected, UnknownViewError
 
 TC_PROGRAM = """
     TC(X, Y) :- E(X, Y).
@@ -453,3 +453,110 @@ class TestTcpFrontend:
             await frontend.close()
 
         _run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Static analysis at the service and protocol layers
+# ----------------------------------------------------------------------
+
+
+class TestServerAnalysis:
+    def test_register_rejects_error_level_program(self):
+        async def run():
+            server = ViewServer()
+            with pytest.raises(ProgramRejected) as err:
+                server.register(
+                    "bad", "P(X) :- Q(X). P(X, Y) :- Q(Y).", _edges((1, 2))
+                )
+            report = err.value.report
+            assert "A001" in report.codes()
+            assert report.errors > 0
+            assert server.views() == []
+            await server.close()
+
+        _run(run())
+
+    def test_register_rejects_missing_edb(self):
+        async def run():
+            server = ViewServer()
+            db = Database([1, 2])  # no E relation
+            with pytest.raises(ProgramRejected) as err:
+                server.register("tc", TC_PROGRAM, db, carrier="TC")
+            assert "V001" in err.value.report.codes()
+            await server.close()
+
+        _run(run())
+
+    def test_register_accepts_warnings_and_caches_report(self):
+        async def run():
+            server = ViewServer()
+            server.register(
+                "wm", WIN_MOVE_PROGRAM, _edges((1, 2)), semantics="wellfounded"
+            )
+            report = server.lint("wm")
+            assert {"S001", "S002"} <= set(report.codes())
+            assert report.errors == 0
+            assert server.lint("wm") is report  # cached, not recomputed
+            await server.close()
+
+        _run(run())
+
+    def test_stats_carries_analysis_block(self):
+        async def run():
+            server = ViewServer()
+            server.register("tc", TC_NOTC_PROGRAM, _edges((1, 2)), carrier="NOTC")
+            analysis = server.stats("tc")["analysis"]
+            assert analysis["class"] == "stratified"
+            assert analysis["strata"] == 2
+            assert analysis["errors"] == 0
+            assert analysis["negative_cycle_predicates"] == []
+            assert isinstance(analysis["codes"], list)
+            await server.close()
+
+        _run(run())
+
+    def test_tcp_register_rejection_carries_diagnostics(self):
+        async def run():
+            server = ViewServer()
+            frontend = TcpFrontend(server)
+            host, port = await frontend.start()
+            client = await Client.connect(host, port)
+            with pytest.raises(ServerError) as err:
+                await client.register(
+                    "bad",
+                    "P(X) :- Q(X). P(X, Y) :- Q(Y).",
+                    db={"relations": {}, "arities": {}},
+                )
+            assert any(d["code"] == "A001" for d in err.value.diagnostics)
+            assert {d["severity"] for d in err.value.diagnostics} <= {
+                "error", "warning", "info"
+            }
+            await client.close()
+            await frontend.close()
+
+        _run(run())
+
+    def test_tcp_lint_verb_returns_schema_stable_report(self):
+        async def run():
+            server = ViewServer()
+            frontend = TcpFrontend(server)
+            host, port = await frontend.start()
+            client = await Client.connect(host, port)
+            await client.register(
+                "wm",
+                WIN_MOVE_PROGRAM,
+                db={"relations": {"E": [[1, 2], [2, 1]]}, "arities": {"E": 2}},
+                semantics="wellfounded",
+            )
+            report = await client.lint("wm")
+            assert set(report) == {"version", "summary", "diagnostics"}
+            assert report["summary"]["class"] == "general"
+            assert {d["code"] for d in report["diagnostics"]} == {"S001", "S002"}
+            stats = (await client.request("stats", view="wm"))["stats"]
+            assert stats["analysis"]["class"] == "general"
+            with pytest.raises(ServerError):
+                await client.lint("nope")
+            await client.close()
+            await frontend.close()
+
+        _run(run())
