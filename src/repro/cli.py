@@ -300,9 +300,15 @@ def cmd_explain(args: argparse.Namespace) -> int:
         enable_metrics()
         TRACER.start(slow_threshold=args.slow_ms / 1000.0 if args.slow_ms else None)
         try:
+            workers = getattr(args, "workers", 0)
+            if workers and semantics == "naive":
+                print("note: --workers has no sharded naive engine; ignoring")
+                workers = 0
             started = time.perf_counter()
             if semantics == "wellfounded":
-                well_founded_semantics(program, db)
+                well_founded_semantics(program, db, parallel=workers)
+            elif workers:
+                _ENGINES[semantics](program, db, parallel=workers)
             else:
                 _ENGINES[semantics](program, db)
             wall = time.perf_counter() - started
@@ -374,6 +380,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 async def _serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
     from .obs import enable_metrics
     from .server.net import TcpFrontend
     from .server.service import ViewServer
@@ -386,6 +395,7 @@ async def _serve(args: argparse.Namespace) -> int:
         state_dir=args.state,
         tick=args.tick_ms / 1000.0,
         snapshot_every=args.snapshot_every,
+        parallel=getattr(args, "workers", 0),
     )
     recovered = await service.start()
     for info in recovered:
@@ -424,9 +434,28 @@ async def _serve(args: argparse.Namespace) -> int:
     print("serving on %s:%d (newline-delimited JSON; op: register/delta/"
           "query/subscribe/info/stats/lint/metrics/shutdown)" % (host, port))
     sys.stdout.flush()
+
+    # SIGTERM is the normal supervisor kill; route it (and SIGINT) into
+    # the same graceful path the `shutdown` verb takes, so the final
+    # snapshot is cut no matter how the process is asked to stop.
+    def _on_signal(signame: str) -> None:
+        print("received %s; closing gracefully" % signame)
+        sys.stdout.flush()
+        frontend.request_stop()
+
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, _on_signal, signum.name)
+        except (NotImplementedError, ValueError, RuntimeError):
+            continue  # platforms without loop signal support
+        installed.append(signum)
     try:
         await frontend.wait_stopped()
     finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
         await frontend.close()
     return 0
 
@@ -567,6 +596,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["debug", "info", "warning", "error"],
         help="stdlib logging level for startup/recovery/slow-op events",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard fixpoints and maintenance across N worker processes "
+        "(0 = in-process, no pool)",
+    )
     serve.set_defaults(fn=cmd_serve)
 
     explain = sub.add_parser(
@@ -599,6 +635,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="log spans slower than this many milliseconds via logging",
+    )
+    explain.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="profile the sharded executor with N worker processes "
+        "(0 = in-process engine)",
     )
     explain.set_defaults(fn=cmd_explain)
 

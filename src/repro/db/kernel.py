@@ -763,6 +763,33 @@ _DENSE_JOIN_LIMIT = 1 << 18
 """Largest key-code span the numpy join direct-addresses (two int64
 tables of that span, ~2 MiB each, beat binary search comfortably)."""
 
+_DENSE_JOIN_FLOOR = 1 << 12
+"""Spans this small are always worth direct-addressing — the tables fit
+in L1/L2 regardless of how few keys occupy them."""
+
+_DENSE_JOIN_RATIO = 16
+"""Above the floor, direct-address only while the span stays within
+this factor of the distinct-key cardinality.  Interned ids are dense,
+so well-used keys sit near ratio 1; a sparse-but-wide key set (packed
+multi-column keys, or a join on a nearly-empty relation) would allocate
+and zero a span-sized table to serve a handful of probes."""
+
+
+def dense_join_eligible(span: int, cardinality: int) -> bool:
+    """Whether ``join_codes`` may build span-sized start/count tables.
+
+    ``span`` is ``max_key + 1`` over the build side's key codes and
+    ``cardinality`` the number of *rows* on that side (an upper bound on
+    distinct keys, which is all the guard needs).  Dense addressing pays
+    off only when the tables stay small in absolute terms *and* are
+    reasonably occupied — otherwise sorted-run probing wins.
+    """
+    if span <= _DENSE_JOIN_FLOOR:
+        return True
+    if span > _DENSE_JOIN_LIMIT:
+        return False
+    return span <= _DENSE_JOIN_RATIO * cardinality
+
 
 def join_codes(left: RelationCodes, right: RelationCodes, on):
     """Matched row indices of an equi-join (kernel microbench op).
@@ -791,7 +818,7 @@ def join_codes(left: RelationCodes, right: RelationCodes, on):
     if len(sk) == 0 or len(lkeys) == 0:
         return empty, empty
     span = int(sk[-1]) + 1
-    if span <= _DENSE_JOIN_LIMIT:
+    if dense_join_eligible(span, len(sk)):
         first = _np.empty(len(sk), dtype=bool)
         first[0] = True
         _np.not_equal(sk[1:], sk[:-1], out=first[1:])

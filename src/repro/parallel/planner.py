@@ -1,0 +1,98 @@
+"""Shard planner: pick a partition key per predicate from join keys.
+
+For every *recursive* SCC of the program's dependency graph the planner
+chooses, per predicate, the columns to partition on.  A good key keeps a
+tuple's shard stable across the joins that consume it, so the frontier
+filter at the top of each round discards most foreign work instead of
+re-deriving it; any key is *correct* (it is only ever used to split a
+relation into disjoint slices whose union is the whole), so the choice
+is pure policy.
+
+The policy: for each positive body occurrence of the predicate inside
+its own SCC's rules, collect the argument positions holding variables
+shared with another body literal or the head (the join keys the rule
+planner will bind through).  The partition key is the intersection of
+those position sets across occurrences — the columns that participate in
+*every* recursive join — falling back to all columns when the
+intersection is empty or the predicate never recurs.
+
+Non-recursive predicates (including EDB relations that only feed flip
+aliases during maintenance) default to all-columns partitioning, which
+is always available because partitioning never has to match a join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..analysis.facts import ProgramFacts
+from ..core.literals import Atom, Variable, literal_variables
+from ..core.program import Program
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Partition columns per predicate; missing predicates use all columns."""
+
+    columns: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+
+    def key_for(self, pred: str) -> Optional[Tuple[int, ...]]:
+        return self.columns.get(pred)
+
+
+def _occurrence_join_positions(program: Program, pred: str, scc: FrozenSet[str]) -> List[Set[int]]:
+    """Join-key position sets, one per positive occurrence of ``pred``."""
+    out: List[Set[int]] = []
+    for rule in program.rules:
+        if rule.head.pred not in scc:
+            continue
+        others: List[FrozenSet[Variable]] = [literal_variables(rule.head)]
+        others.extend(literal_variables(lit) for lit in rule.body)
+        for position, lit in enumerate(rule.body):
+            atom = lit.atom if hasattr(lit, "atom") else lit
+            if not isinstance(atom, Atom) or atom.pred != pred:
+                continue
+            elsewhere: Set[Variable] = set()
+            for j, vars_ in enumerate(others):
+                if j != position + 1:
+                    elsewhere.update(vars_)
+            joins = {
+                i
+                for i, arg in enumerate(atom.args)
+                if isinstance(arg, Variable) and arg in elsewhere
+            }
+            out.append(joins)
+    return out
+
+
+def build_shard_plan(program: Program) -> ShardPlan:
+    """Choose partition columns for every recursive predicate."""
+    facts = ProgramFacts(program)
+    graph = facts.graph
+    columns: Dict[str, Tuple[int, ...]] = {}
+    for scc in facts.sccs:
+        recursive = len(scc) > 1 or any(
+            pred in _successor_preds(graph, pred) for pred in scc
+        )
+        if not recursive:
+            continue
+        for pred in scc:
+            arity = program.arity(pred)
+            occurrences = _occurrence_join_positions(program, pred, scc)
+            if not occurrences:
+                continue
+            shared = set(range(arity))
+            for joins in occurrences:
+                shared &= joins
+            if shared:
+                columns[pred] = tuple(sorted(shared))
+    return ShardPlan(columns)
+
+
+def _successor_preds(graph, pred: str) -> Set[str]:
+    succ = graph.successors(pred)
+    out: Set[str] = set()
+    for edge in succ:
+        out.add(getattr(edge, "target", edge))
+    return out

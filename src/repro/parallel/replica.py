@@ -1,0 +1,322 @@
+"""Sharded materialized views: worker-side replicas, parent-side backing.
+
+A parallel :class:`~repro.materialize.view.MaterializedView` keeps a
+full replica view inside every pool worker.  The parent never maintains
+anything itself: it validates and normalizes each delta, ships it, and
+mechanically folds the changeset that worker 0 reports back into its own
+``db``/``result`` mirror — so reads stay local and cheap while the
+DRed/counting (or alternating-fixpoint) work runs sharded in the pool,
+through exactly the hooks the engines already have.
+
+Symbol-table discipline: parent and workers build their tables from the
+same canonical universe order at init, and before *every* apply each
+side interns the delta's unseen values in canonical order
+(:func:`repro.parallel.ship.intern_delta_values`).  Workers return their
+table fingerprint with every reply; the parent refuses to continue on a
+mismatch rather than decode buffers against a diverged table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..db.kernel import SymbolTable
+from . import ship
+from .planner import build_shard_plan
+from .pool import HANDLERS, ParallelError, get_pool
+from .shard import SHARD
+
+_UNDEF_SUFFIX = "@undef"
+
+
+def _key_arity(key: str, program, db) -> int:
+    """Arity of a changeset key: a predicate, EDB name, or ``pred@undef``."""
+    base = key[: -len(_UNDEF_SUFFIX)] if key.endswith(_UNDEF_SUFFIX) else key
+    if base in program.predicates:
+        return program.arity(base)
+    return db.arity_of(base)
+
+
+def _encode_changeset(table, program, db, changeset) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key in changeset.relations():
+        arity = _key_arity(key, program, db)
+        ins = changeset.inserted.get(key, frozenset())
+        dels = changeset.deleted.get(key, frozenset())
+        out[key] = (
+            arity,
+            ship.encode_tuples(table, arity, ins),
+            ship.encode_tuples(table, arity, dels),
+        )
+    return out
+
+
+def _decode_changeset(table, payload: Dict[str, Any]):
+    from ..materialize.view import ChangeSet
+
+    inserted: Dict[str, FrozenSet] = {}
+    deleted: Dict[str, FrozenSet] = {}
+    for key, (arity, ins_enc, dels_enc) in payload.items():
+        inserted[key] = frozenset(ship.decode_tuples(table, arity, ins_enc))
+        deleted[key] = frozenset(ship.decode_tuples(table, arity, dels_enc))
+    return ChangeSet(inserted=inserted, deleted=deleted)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _view_slot(state: Dict[str, Any], name: str) -> Dict[str, Any]:
+    return state.setdefault("views", {}).setdefault(name, {})
+
+
+def _handle_view_init(wid, nshards, payload, state, exchange):
+    from ..materialize.view import MaterializedView
+
+    program = payload["program"]
+    table = ship.build_table(payload["db"]["universe"], program)
+    db = ship.load_database(table, payload["db"])
+    slot = _view_slot(state, payload["name"])
+    SHARD.activate(wid, nshards, table, payload["columns"], exchange)
+    try:
+        view = MaterializedView(
+            program,
+            db,
+            semantics=payload["semantics"],
+            undo_limit=payload["undo_limit"],
+        )
+    finally:
+        SHARD.deactivate()
+    slot["view"] = view
+    slot["table"] = table
+    slot["columns"] = payload["columns"]
+    fingerprint = ship.table_fingerprint(table)
+    if wid != 0:
+        return {"fingerprint": fingerprint}
+    result = view.result
+    out: Dict[str, Any] = {
+        "fingerprint": fingerprint,
+        "maintainable": view._maintainable,
+        "rounds": result.rounds,
+        "engine": result.engine,
+    }
+    if payload["semantics"] == "wellfounded":
+        out["true"] = _encode_changeset_sets(table, program, result.true)
+        out["undefined"] = _encode_changeset_sets(table, program, result.undefined)
+    else:
+        out["idb"] = {
+            pred: (rel.arity, ship.encode_tuples(table, rel.arity, rel.tuples))
+            for pred, rel in result.idb.items()
+        }
+        if result.engine == "stratified":
+            out["strata"] = tuple(tuple(sorted(layer)) for layer in result.strata)
+    return out
+
+
+def _encode_changeset_sets(table, program, atoms) -> Dict[str, Any]:
+    grouped: Dict[str, set] = {p: set() for p in program.idb_predicates}
+    for pred, values in atoms:
+        grouped[pred].add(values)
+    return {
+        pred: (
+            program.arity(pred),
+            ship.encode_tuples(table, program.arity(pred), tuples),
+        )
+        for pred, tuples in grouped.items()
+    }
+
+
+def _decode_atom_sets(table, payload) -> FrozenSet:
+    out = set()
+    for pred, (arity, enc) in payload.items():
+        for t in ship.decode_tuples(table, arity, enc):
+            out.add((pred, t))
+    return frozenset(out)
+
+
+def _handle_view_apply(wid, nshards, payload, state, exchange):
+    slot = _view_slot(state, payload["name"])
+    view = slot["view"]
+    table = slot["table"]
+    delta = payload["delta"]
+    # Same canonical interning the parent performed before shipping.
+    ship.intern_delta_values(table, delta)
+    SHARD.activate(wid, nshards, table, slot["columns"], exchange)
+    try:
+        changeset = view.apply(delta)
+    finally:
+        SHARD.deactivate()
+    fingerprint = ship.table_fingerprint(table)
+    if wid != 0:
+        return {"fingerprint": fingerprint}
+    return {
+        "fingerprint": fingerprint,
+        "changes": _encode_changeset(table, view.program, view.db, changeset),
+        "recomputes": view.recomputes,
+        "rounds": view.result.rounds,
+        "engine": view.result.engine,
+    }
+
+
+HANDLERS["view_init"] = _handle_view_init
+HANDLERS["view_apply"] = _handle_view_apply
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+class ViewBacking:
+    """Parent half of a sharded view: ships deltas, mirrors results."""
+
+    _SEQ = 0
+
+    def __init__(self, owner, program, db, semantics: str, undo_limit, nshards: int) -> None:
+        self.owner = owner
+        self.nshards = nshards
+        type(self)._SEQ += 1
+        self.name = "view-%d" % type(self)._SEQ
+        self.table: SymbolTable = ship.build_table(db.universe, program)
+        self.columns = build_shard_plan(program).columns
+        self.pool = get_pool(nshards)
+        reply = self._job(
+            "view_init",
+            {
+                "name": self.name,
+                "program": program,
+                "db": ship.ship_database(self.table, db),
+                "semantics": semantics,
+                "undo_limit": undo_limit,
+                "columns": self.columns,
+            },
+        )
+        self.maintainable: bool = reply["maintainable"]
+        self._true: Optional[set] = None
+        self._undefined: Optional[set] = None
+        if semantics == "wellfounded":
+            self._true = set(_decode_atom_sets(self.table, reply["true"]))
+            self._undefined = set(_decode_atom_sets(self.table, reply["undefined"]))
+            self._result = self._wf_result(program, db, reply["rounds"])
+        else:
+            from ..db.relation import Relation
+
+            idb = {
+                pred: Relation(pred, arity, ship.decode_tuples(self.table, arity, enc))
+                for pred, (arity, enc) in reply["idb"].items()
+            }
+            self._result = self._two_valued_result(
+                program, db, idb, reply["rounds"], reply["engine"], reply.get("strata")
+            )
+
+    # -- result mirroring ----------------------------------------------
+
+    def _wf_result(self, program, db, rounds):
+        from ..core.semantics.wellfounded import WellFoundedResult
+
+        return WellFoundedResult(
+            program=program,
+            db=db,
+            true=frozenset(self._true),
+            undefined=frozenset(self._undefined),
+            rounds=rounds,
+        )
+
+    def _two_valued_result(self, program, db, idb, rounds, engine, strata=None):
+        from ..core.semantics.base import EvaluationResult
+        from ..core.semantics.stratified import StratifiedResult
+
+        if strata is None and isinstance(
+            getattr(self, "_result", None), StratifiedResult
+        ):
+            strata = self._result.strata
+        if engine == "stratified":
+            return StratifiedResult(
+                program=program,
+                db=db,
+                idb=idb,
+                rounds=rounds,
+                engine=engine,
+                trace=None,
+                strata=tuple(
+                    layer if isinstance(layer, frozenset) else frozenset(layer)
+                    for layer in (strata or ())
+                ),
+            )
+        return EvaluationResult(
+            program=program,
+            db=db,
+            idb=idb,
+            rounds=rounds,
+            engine=engine,
+            trace=None,
+        )
+
+    def initial_result(self):
+        return self._result
+
+    # -- the write path -------------------------------------------------
+
+    def _job(self, kind: str, payload) -> Dict[str, Any]:
+        results = self.pool.run_job(kind, payload, self.table)
+        expected = ship.table_fingerprint(self.table)
+        for wid, res in enumerate(results):
+            if res["fingerprint"] != expected:
+                raise ParallelError(
+                    "shard %d symbol table diverged from the parent" % wid
+                )
+        return results[0]
+
+    def apply_inner(self, delta, record_undo: bool):
+        """Mirror of ``MaterializedView._apply_inner`` over the pool."""
+        from ..materialize.view import ChangeSet
+
+        view = self.owner
+        view._validate(delta)
+        effective = delta.normalize(view._db)
+        if effective.is_empty():
+            return ChangeSet()
+        ship.intern_delta_values(self.table, effective)
+        reply = self._job(
+            "view_apply", {"name": self.name, "delta": effective}
+        )
+        changeset = _decode_changeset(self.table, reply["changes"])
+        new_db = view._db.apply_delta(effective)
+        program = view.program
+        if view.semantics == "wellfounded":
+            self._fold_wf(changeset, program)
+            self._result = self._wf_result(program, new_db, reply["rounds"])
+        else:
+            idb = dict(self._result.idb)
+            for pred in program.idb_predicates:
+                ins = changeset.inserted.get(pred, frozenset())
+                dels = changeset.deleted.get(pred, frozenset())
+                if ins or dels:
+                    idb[pred] = idb[pred].evolve(ins, dels)
+            self._result = self._two_valued_result(
+                program, new_db, idb, reply["rounds"], reply["engine"]
+            )
+        view._db = new_db
+        view._result = self._result
+        view.applied += 1
+        view.recomputes = reply["recomputes"]
+        if record_undo:
+            view._undo.append(effective.inverse())
+            if (
+                view._undo_limit is not None
+                and len(view._undo) > view._undo_limit
+            ):
+                del view._undo[: len(view._undo) - view._undo_limit]
+        return changeset
+
+    def _fold_wf(self, changeset, program) -> None:
+        for pred in program.idb_predicates:
+            for key, target in (
+                (pred, self._true),
+                (pred + _UNDEF_SUFFIX, self._undefined),
+            ):
+                for t in changeset.inserted.get(key, ()):
+                    target.add((pred, t))
+                for t in changeset.deleted.get(key, ()):
+                    target.discard((pred, t))

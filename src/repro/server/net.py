@@ -90,6 +90,16 @@ class TcpFrontend:
         """Block until a ``shutdown`` request (or :meth:`close`)."""
         await self._stopping.wait()
 
+    def request_stop(self) -> None:
+        """Unblock :meth:`wait_stopped` without closing anything yet.
+
+        Safe to call from a signal handler: the coroutine blocked in
+        ``wait_stopped`` resumes and runs its own graceful-close path
+        (which cuts the final snapshots) in ordinary task context.
+        """
+        if self._stopping is not None:
+            self._stopping.set()
+
     async def close(self) -> None:
         """Stop listening and close the service (final snapshots cut)."""
         if self._server is not None:

@@ -264,6 +264,10 @@ class ViewServer:
         Cut a snapshot (and prune the WAL behind it) every this many
         commits.  ``None`` disables periodic snapshots — the WAL then
         grows until :meth:`close`, which always cuts a final snapshot.
+    parallel:
+        Maintain every hosted view over a pool of this many sharded
+        worker processes (``0`` stays sequential).  Falls back to
+        sequential where process forking is unavailable.
     """
 
     def __init__(
@@ -271,10 +275,12 @@ class ViewServer:
         state_dir: Optional[Union[str, Path]] = None,
         tick: float = 0.0,
         snapshot_every: Optional[int] = 64,
+        parallel: int = 0,
     ) -> None:
         self.state_dir = Path(state_dir) if state_dir is not None else None
         self.tick = tick
         self.snapshot_every = snapshot_every
+        self.parallel = parallel
         self._views: Dict[str, _ViewState] = {}
         self._closed = False
 
@@ -311,7 +317,9 @@ class ViewServer:
         log = DeltaLog(directory)
         rec = log.recover()
         program = parse_program(rec.program_text, carrier=rec.carrier)
-        view = MaterializedView(program, rec.db, semantics=rec.semantics)
+        view = MaterializedView(
+            program, rec.db, semantics=rec.semantics, parallel=self.parallel
+        )
         replayed = 0
         for _seq, delta in rec.entries:
             view.apply(delta)
@@ -381,7 +389,9 @@ class ViewServer:
             log = DeltaLog.initialise(
                 self.state_dir / name, name, program_text, semantics, carrier, db
             )
-        view = MaterializedView(program, db, semantics=semantics)
+        view = MaterializedView(
+            program, db, semantics=semantics, parallel=self.parallel
+        )
         state = _ViewState(
             name=name,
             program=program,

@@ -20,11 +20,13 @@ value round trip had to become the identity (:mod:`repro.db.csvio`):
 a log whose entries come back subtly different replays the server into
 a different database than the one that crashed.
 
-Crash safety is rename-based: an entry is dumped into a ``.tmp-`` name
-and atomically renamed into place, a snapshot directory is fully
-written before ``meta.json`` (rewritten via ``os.replace``) points at
-its sequence number, and recovery ignores anything not named like a
-committed artefact.  At every crash point ``meta.json`` therefore
+Crash safety is rename-based *and* fsync'd: an entry is dumped into a
+``.tmp-`` name, its files and directory fsync'd, atomically renamed
+into place, and the WAL directory fsync'd so the rename survives power
+loss — only then may the writer ack.  A snapshot directory is fully
+written (and fsync'd) before ``meta.json`` (rewritten via
+``os.replace`` + directory fsync) points at its sequence number, and
+recovery ignores anything not named like a committed artefact.  At every crash point ``meta.json`` therefore
 names a complete snapshot, and replaying the WAL entries *after* it
 reproduces the exact pre-crash state (maintenance == recompute is
 property-tested, and apply is deterministic).
@@ -68,6 +70,30 @@ _WAL = "wal"
 _SNAPSHOT_PREFIX = "snapshot-"
 _UNIVERSE = "@universe"
 _SEQ_WIDTH = 8
+
+
+def _fsync_path(path: Path) -> None:
+    """fsync a file or directory by path (directories need O_RDONLY)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_tree(directory: Path) -> None:
+    """fsync every file under ``directory``, then the directory itself.
+
+    Called on a fully-written tmp directory *before* the atomic rename:
+    ``os.replace`` orders the name change, but says nothing about the
+    data blocks or the tmp directory's own entries — a crash after the
+    rename could otherwise surface a committed-looking entry with empty
+    or truncated CSV files.
+    """
+    for child in sorted(directory.iterdir()):
+        if child.is_file():
+            _fsync_path(child)
+    _fsync_path(directory)
 
 
 def _seq_name(seq: int) -> str:
@@ -183,7 +209,10 @@ class DeltaLog:
             shutil.rmtree(tmp)
         tmp.mkdir(parents=True)
         csvio.dump_delta(delta, tmp)
+        # Durability before the ack: entry data, then the rename itself.
+        _fsync_tree(tmp)
         os.replace(tmp, final)
+        _fsync_path(wal)
         _APPEND_SECONDS.labels(self.directory.name).observe(
             time.perf_counter() - started
         )
@@ -264,7 +293,9 @@ class DeltaLog:
         )
         if final.exists():
             shutil.rmtree(final)
+        _fsync_tree(tmp)
         os.replace(tmp, final)
+        _fsync_path(self.directory)
 
     def _load_snapshot(self, seq: int, schema: Dict[str, int]) -> Database:
         directory = self._snapshot_dir(seq)
@@ -324,4 +355,6 @@ class DeltaLog:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        # The rename is what commits the new snapshot_seq — persist it.
+        _fsync_path(self.directory)
         self._meta = meta

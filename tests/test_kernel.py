@@ -216,3 +216,48 @@ def test_index_and_complement_caches_hit_across_column_spellings(backend_name):
     keyed = rel.keyed_complement_on(uni, (0,), (1,))
     assert rel.keyed_complement_on(uni, [0], [1]) is keyed
     assert rel.keyed_complement_on(set(uni), iter((0,)), iter((1,))) is keyed
+
+
+# ----------------------------------------------------------------------
+# Dense-join guard: span/cardinality eligibility (regression)
+# ----------------------------------------------------------------------
+
+
+class TestDenseJoinGuard:
+    def test_small_spans_always_direct_address(self):
+        assert kernel.dense_join_eligible(1, 1)
+        assert kernel.dense_join_eligible(kernel._DENSE_JOIN_FLOOR, 1)
+
+    def test_huge_spans_never_direct_address(self):
+        assert not kernel.dense_join_eligible(kernel._DENSE_JOIN_LIMIT + 1, 10**6)
+        assert not kernel.dense_join_eligible(10**9 + 1, 10**6)
+
+    def test_mid_spans_require_occupancy(self):
+        span = kernel._DENSE_JOIN_FLOOR * 2
+        dense_enough = span // kernel._DENSE_JOIN_RATIO
+        assert kernel.dense_join_eligible(span, dense_enough)
+        assert not kernel.dense_join_eligible(span, dense_enough - 1)
+
+    def test_sparse_but_wide_keys_join_correctly(self):
+        # Regression: a packed multi-column key over a well-populated
+        # table spans a huge code range even when only a handful of keys
+        # exist — the dense path used to allocate and zero two span-sized
+        # tables for a two-row join.  The guard must route this through
+        # the sorted probe path and still match exactly.
+        if not kernel.has_numpy():
+            pytest.skip("the dense path is numpy-only")
+        table = SymbolTable()
+        for v in range(300):  # widen the field: per-column ids need 2^12
+            table.intern(v)
+        lo, hi = (0, 0, 0), (299, 299, 299)
+        left = RelationCodes.encode(table, 3, [lo, hi, (7, 7, 7)])
+        right = RelationCodes.encode(table, 3, [hi, lo])
+        span = int(max(right.key_codes((0, 1, 2)))) + 1
+        assert span > kernel._DENSE_JOIN_LIMIT  # genuinely sparse-but-wide
+        assert not kernel.dense_join_eligible(span, 2)
+        li, ri = kernel.join_codes(left, right, [(0, 0), (1, 1), (2, 2)])
+        matched = sorted(
+            (int(left.codes[i]), int(right.codes[j])) for i, j in zip(li, ri)
+        )
+        pairs = [(int(c), int(c)) for c in sorted(int(x) for x in right.codes)]
+        assert matched == pairs
